@@ -1,0 +1,98 @@
+// Ablation — budget allocation policy (the design choice of Section 5).
+//
+// Compares the paper's Algorithm 2 (rho-minimal per level, coarse levels
+// secured first) against uniform and geometric splits at the same total
+// eps, plus two flat prior-free baselines (PL+grid and the discrete
+// exponential mechanism) for context.
+//
+// Flags: --dataset gowalla|yelp|both  --eps 0.5  --g 4  --requests 1000
+//        --csv PATH
+
+#include "bench/bench_util.h"
+
+#include "mechanisms/exponential.h"
+#include "spatial/grid.h"
+
+int main(int argc, char** argv) {
+  using namespace geopriv;  // NOLINT: binary brevity
+  const bench::Flags flags(argc, argv);
+  const double eps = flags.GetDouble("eps", 0.5);
+  const int requests = flags.GetInt("requests", 1000);
+
+  std::printf("Ablation: budget allocation policies (eps=%.2f)\n\n", eps);
+  eval::Table table(
+      {"dataset", "g", "policy", "height", "loss_km", "level_budgets"});
+
+  auto budgets_string = [](const core::BudgetAllocation& b) {
+    std::string s;
+    for (int i = 0; i < b.height(); ++i) {
+      if (i > 0) s += "/";
+      s += eval::Fmt(b.per_level[i], 2);
+    }
+    return s;
+  };
+
+  for (const std::string& name : bench::DatasetList(flags)) {
+    const bench::Workload workload = bench::MakeWorkload(name);
+    for (int g : {2, 4}) {
+      const struct {
+        const char* name;
+        core::BudgetPolicy policy;
+      } policies[] = {
+          {"algorithm-2 (rho-minimal)", core::BudgetPolicy::kRhoMinimal},
+          {"uniform", core::BudgetPolicy::kUniform},
+          {"geometric", core::BudgetPolicy::kGeometric},
+      };
+      for (const auto& p : policies) {
+        auto grid = spatial::HierarchicalGrid::Create(
+            workload.dataset.domain, g, g == 2 ? 4 : 2);
+        GEOPRIV_CHECK_OK(grid.status());
+        core::MsmOptions options;
+        options.budget.policy = p.policy;
+        if (p.policy != core::BudgetPolicy::kRhoMinimal) {
+          // Fixed-height policies split across the full index height.
+          options.budget.fixed_height = grid->height();
+        }
+        auto msm = core::MultiStepMechanism::Create(
+            eps,
+            std::make_shared<spatial::HierarchicalGrid>(
+                std::move(grid).value()),
+            workload.prior, options);
+        GEOPRIV_CHECK_OK(msm.status());
+        eval::EvalOptions eval_options;
+        eval_options.num_requests = requests;
+        auto result = eval::EvaluateMechanism(
+            *msm, workload.dataset.points, eval_options);
+        GEOPRIV_CHECK_OK(result.status());
+        table.AddRow({name, std::to_string(g), p.name,
+                      std::to_string(msm->height()),
+                      eval::Fmt(result->mean_loss, 3),
+                      budgets_string(msm->budget())});
+      }
+    }
+    // Prior-free flat baselines at a 16 x 16 effective grid.
+    auto pl = bench::MakePlOnGrid(workload, eps, 16);
+    eval::EvalOptions eval_options;
+    eval_options.num_requests = requests;
+    auto pl_result =
+        eval::EvaluateMechanism(*pl, workload.dataset.points, eval_options);
+    GEOPRIV_CHECK_OK(pl_result.status());
+    table.AddRow({name, "-", "PL + 16x16 grid (baseline)", "-",
+                  eval::Fmt(pl_result->mean_loss, 3), "-"});
+    spatial::UniformGrid flat(workload.dataset.domain, 16);
+    auto exp_mech =
+        mechanisms::DiscreteExponential::Create(eps, flat.AllCenters());
+    GEOPRIV_CHECK_OK(exp_mech.status());
+    auto exp_result = eval::EvaluateMechanism(
+        *exp_mech, workload.dataset.points, eval_options);
+    GEOPRIV_CHECK_OK(exp_result.status());
+    table.AddRow({name, "-", "exponential mech 16x16 (baseline)", "-",
+                  eval::Fmt(exp_result->mean_loss, 3), "-"});
+  }
+  bench::FinishTable(flags, table);
+  std::printf(
+      "\nAlgorithm 2 secures the coarse levels first; uniform splits "
+      "over-fund fine levels and leak at the top, which costs utility — "
+      "the paper's key contrast with the DP-histogram literature.\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 10 (a: Gowalla, b: Yelp) — effect of rho on MSM utility loss,
+// Euclidean metric. See rho_sweep_common.h.
+
+#include "bench/rho_sweep_common.h"
+
+int main(int argc, char** argv) {
+  return geopriv::bench::RunRhoSweep(
+      "Figure 10", geopriv::geo::UtilityMetric::kEuclidean, argc, argv);
+}

@@ -1,0 +1,10 @@
+// Figure 11 (a: Gowalla, b: Yelp) — effect of rho on MSM utility loss,
+// squared Euclidean metric. See rho_sweep_common.h.
+
+#include "bench/rho_sweep_common.h"
+
+int main(int argc, char** argv) {
+  return geopriv::bench::RunRhoSweep(
+      "Figure 11", geopriv::geo::UtilityMetric::kSquaredEuclidean, argc,
+      argv);
+}

@@ -1,0 +1,9 @@
+// Figure 6 (a: Gowalla, b: Yelp) — effect of eps on utility loss, MSM vs
+// planar Laplace, Euclidean utility metric. See eps_sweep_common.h.
+
+#include "bench/eps_sweep_common.h"
+
+int main(int argc, char** argv) {
+  return geopriv::bench::RunEpsSweep(
+      "Figure 6", geopriv::geo::UtilityMetric::kEuclidean, argc, argv);
+}

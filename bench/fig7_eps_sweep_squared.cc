@@ -1,0 +1,11 @@
+// Figure 7 (a: Gowalla, b: Yelp) — effect of eps on utility loss, MSM vs
+// planar Laplace, squared Euclidean utility metric. See
+// eps_sweep_common.h.
+
+#include "bench/eps_sweep_common.h"
+
+int main(int argc, char** argv) {
+  return geopriv::bench::RunEpsSweep(
+      "Figure 7", geopriv::geo::UtilityMetric::kSquaredEuclidean, argc,
+      argv);
+}

@@ -1,0 +1,9 @@
+// Figure 8 (a: Gowalla, b: Yelp) — effect of granularity on MSM utility
+// loss, Euclidean metric. See granularity_sweep_common.h.
+
+#include "bench/granularity_sweep_common.h"
+
+int main(int argc, char** argv) {
+  return geopriv::bench::RunGranularitySweep(
+      "Figure 8", geopriv::geo::UtilityMetric::kEuclidean, argc, argv);
+}

@@ -1,0 +1,10 @@
+// Figure 9 (a: Gowalla, b: Yelp) — effect of granularity on MSM utility
+// loss, squared Euclidean metric. See granularity_sweep_common.h.
+
+#include "bench/granularity_sweep_common.h"
+
+int main(int argc, char** argv) {
+  return geopriv::bench::RunGranularitySweep(
+      "Figure 9", geopriv::geo::UtilityMetric::kSquaredEuclidean, argc,
+      argv);
+}

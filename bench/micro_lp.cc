@@ -1,0 +1,95 @@
+// Micro-benchmarks: the LP substrate — revised simplex and interior point
+// on random dense instances, and warm-started re-solves (the column
+// generation workhorse).
+
+#include <benchmark/benchmark.h>
+
+#include "lp/interior_point.h"
+#include "lp/model.h"
+#include "lp/revised_simplex.h"
+#include "rng/rng.h"
+
+namespace {
+
+using namespace geopriv;  // NOLINT: benchmark brevity
+
+lp::Model RandomLp(int vars, int rows, uint64_t seed) {
+  rng::Rng rng(seed);
+  lp::Model model;
+  for (int j = 0; j < vars; ++j) {
+    model.AddVariable(0.0, rng.Uniform(0.5, 5.0), rng.Uniform(-3.0, 3.0));
+  }
+  for (int i = 0; i < rows; ++i) {
+    std::vector<lp::Coefficient> terms;
+    for (int j = 0; j < vars; ++j) {
+      if (rng.Uniform() < 0.5) terms.push_back({j, rng.Uniform(-2.0, 2.0)});
+    }
+    if (terms.empty()) terms.push_back({0, 1.0});
+    model.AddConstraint(lp::ConstraintSense::kLessEqual,
+                        rng.Uniform(0.5, 6.0), std::move(terms));
+  }
+  return model;
+}
+
+void BM_SimplexRandomLp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const lp::Model model = RandomLp(n, 2 * n, 42);
+  lp::SolverOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::RevisedSimplex::Solve(model, options));
+  }
+}
+BENCHMARK(BM_SimplexRandomLp)->Arg(10)->Arg(40)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InteriorPointRandomLp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const lp::Model model = RandomLp(n, 2 * n, 42);
+  lp::SolverOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::InteriorPoint::Solve(model, options));
+  }
+}
+BENCHMARK(BM_InteriorPointRandomLp)->Arg(10)->Arg(40)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+// Warm start vs cold start after appending one variable: the pattern the
+// optimal mechanism's column generation executes every round.
+void BM_WarmStartResolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lp::SolverOptions options;
+  for (auto _ : state) {
+    state.PauseTiming();
+    lp::Model model = RandomLp(n, 2 * n, 7);
+    lp::Basis basis;
+    benchmark::DoNotOptimize(
+        lp::RevisedSimplex::Solve(model, options, nullptr, &basis));
+    const int v = model.AddVariable(0.0, 1.0, -5.0);
+    model.AddCoefficient(0, v, 1.0);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        lp::RevisedSimplex::Solve(model, options, &basis));
+  }
+}
+BENCHMARK(BM_WarmStartResolve)->Arg(40)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ColdResolveBaseline(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lp::SolverOptions options;
+  for (auto _ : state) {
+    state.PauseTiming();
+    lp::Model model = RandomLp(n, 2 * n, 7);
+    benchmark::DoNotOptimize(lp::RevisedSimplex::Solve(model, options));
+    const int v = model.AddVariable(0.0, 1.0, -5.0);
+    model.AddCoefficient(0, v, 1.0);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(lp::RevisedSimplex::Solve(model, options));
+  }
+}
+BENCHMARK(BM_ColdResolveBaseline)->Arg(40)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

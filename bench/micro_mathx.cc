@@ -1,0 +1,73 @@
+// Micro-benchmarks: special functions and lattice sums (including the
+// direct-summation vs Poisson/Dirichlet-series ablation from Section 5 —
+// the series is the enabler for small eps, where direct summation needs a
+// huge truncation radius).
+
+#include <benchmark/benchmark.h>
+
+#include "mathx/lambert_w.h"
+#include "mathx/lattice_sum.h"
+#include "mathx/special_functions.h"
+
+namespace {
+
+using namespace geopriv::mathx;  // NOLINT: benchmark brevity
+
+void BM_LatticeSumDirect(benchmark::State& state) {
+  const double s = state.range(0) / 1000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LatticeExponentialSumDirect(s));
+  }
+}
+BENCHMARK(BM_LatticeSumDirect)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_LatticeSumSeries(benchmark::State& state) {
+  const double s = state.range(0) / 1000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LatticeExponentialSumSeries(s));
+  }
+}
+BENCHMARK(BM_LatticeSumSeries)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_MinBudgetForSelfMapping(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinBudgetForSelfMapping(0.8, 5.0).value());
+  }
+}
+BENCHMARK(BM_MinBudgetForSelfMapping);
+
+void BM_LambertWm1(benchmark::State& state) {
+  double x = -0.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LambertWm1(x));
+  }
+}
+BENCHMARK(BM_LambertWm1);
+
+void BM_PlanarLaplaceInverseCdf(benchmark::State& state) {
+  double p = 0.0;
+  for (auto _ : state) {
+    p += 0.001;
+    if (p >= 1.0) p = 0.001;
+    benchmark::DoNotOptimize(PlanarLaplaceInverseRadialCdf(0.5, p).value());
+  }
+}
+BENCHMARK(BM_PlanarLaplaceInverseCdf);
+
+void BM_RiemannZeta(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RiemannZeta(1.5));
+  }
+}
+BENCHMARK(BM_RiemannZeta);
+
+void BM_DirichletBeta(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DirichletBeta(1.5));
+  }
+}
+BENCHMARK(BM_DirichletBeta);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Micro-benchmarks: mechanism hot paths — PL sampling, OPT solves, MSM
+// queries with a warm LP cache, and the alias-vs-linear row sampling
+// ablation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/msm.h"
+#include "data/synthetic.h"
+#include "mechanisms/optimal.h"
+#include "mechanisms/planar_laplace.h"
+#include "prior/prior.h"
+#include "rng/alias_sampler.h"
+#include "rng/rng.h"
+#include "spatial/hierarchical_grid.h"
+
+namespace {
+
+using namespace geopriv;  // NOLINT: benchmark brevity
+
+void BM_PlanarLaplaceReport(benchmark::State& state) {
+  auto pl = mechanisms::PlanarLaplace::Create(0.5);
+  rng::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pl->Report({10.0, 10.0}, rng));
+  }
+}
+BENCHMARK(BM_PlanarLaplaceReport);
+
+void BM_OptSolve(benchmark::State& state) {
+  const int g = static_cast<int>(state.range(0));
+  spatial::UniformGrid grid({0, 0, 20, 20}, g);
+  std::vector<double> prior(g * g);
+  for (int i = 0; i < g * g; ++i) prior[i] = 1.0 / (1.0 + i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanisms::OptimalMechanism::Create(
+        0.5, grid.AllCenters(), prior, geo::UtilityMetric::kEuclidean));
+  }
+}
+BENCHMARK(BM_OptSolve)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OptReportWarm(benchmark::State& state) {
+  spatial::UniformGrid grid({0, 0, 20, 20}, 4);
+  std::vector<double> prior(16, 1.0 / 16);
+  auto opt = mechanisms::OptimalMechanism::Create(
+      0.5, grid.AllCenters(), prior, geo::UtilityMetric::kEuclidean);
+  rng::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt->Report({3.0, 17.0}, rng));
+  }
+}
+BENCHMARK(BM_OptReportWarm);
+
+struct MsmFixture {
+  std::shared_ptr<prior::Prior> prior;
+  std::unique_ptr<core::MultiStepMechanism> msm;
+
+  MsmFixture() {
+    data::SyntheticCityConfig config = data::GowallaAustinLikeConfig();
+    config.num_checkins = 20000;
+    auto city = data::GenerateSyntheticCity(config);
+    prior = std::make_shared<prior::Prior>(
+        prior::Prior::FromPoints(city->domain, 64, city->points).value());
+    auto index = std::make_shared<spatial::HierarchicalGrid>(
+        spatial::HierarchicalGrid::Create(city->domain, 3, 3).value());
+    core::MsmOptions options;
+    msm = std::make_unique<core::MultiStepMechanism>(
+        core::MultiStepMechanism::Create(0.5, index, prior, options)
+            .value());
+  }
+};
+
+void BM_MsmQueryWarmCache(benchmark::State& state) {
+  static MsmFixture* fixture = new MsmFixture();
+  rng::Rng rng(1);
+  // Prime the cache.
+  fixture->msm->Report({6.0, 7.0}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture->msm->Report({6.0, 7.0}, rng));
+  }
+}
+BENCHMARK(BM_MsmQueryWarmCache);
+
+void BM_AliasSample(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  rng::Rng setup(3);
+  std::vector<double> weights(n);
+  for (double& w : weights) w = setup.Uniform(0.1, 2.0);
+  auto sampler = rng::AliasSampler::Create(weights).value();
+  rng::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_LinearSample(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  rng::Rng setup(3);
+  std::vector<double> weights(n);
+  double sum = 0.0;
+  for (double& w : weights) {
+    w = setup.Uniform(0.1, 2.0);
+    sum += w;
+  }
+  rng::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::SampleLinear(weights, sum, rng));
+  }
+}
+BENCHMARK(BM_LinearSample)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

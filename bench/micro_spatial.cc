@@ -1,0 +1,117 @@
+// Micro-benchmarks: spatial substrate — grid arithmetic, hierarchical-grid
+// navigation, R-tree construction and queries, k-d partition build.
+
+#include <benchmark/benchmark.h>
+
+#include "prior/prior.h"
+#include "rng/rng.h"
+#include "spatial/grid.h"
+#include "spatial/hierarchical_grid.h"
+#include "spatial/kd_partition.h"
+#include "spatial/str_rtree.h"
+
+namespace {
+
+using namespace geopriv;  // NOLINT: benchmark brevity
+
+std::vector<geo::Point> RandomPoints(int n, uint64_t seed) {
+  rng::Rng rng(seed);
+  std::vector<geo::Point> pts(n);
+  for (auto& p : pts) {
+    p = {rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)};
+  }
+  return pts;
+}
+
+void BM_GridCellOf(benchmark::State& state) {
+  spatial::UniformGrid grid({0, 0, 20, 20}, 64);
+  rng::Rng rng(1);
+  geo::Point p{3.0, 4.0};
+  for (auto _ : state) {
+    p.x = rng.Uniform(0.0, 20.0);
+    benchmark::DoNotOptimize(grid.CellOf(p));
+  }
+}
+BENCHMARK(BM_GridCellOf);
+
+void BM_HierGridChildren(benchmark::State& state) {
+  auto grid =
+      spatial::HierarchicalGrid::Create({0, 0, 20, 20}, 4, 4).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        grid.Children(spatial::HierarchicalPartition::kRoot));
+  }
+}
+BENCHMARK(BM_HierGridChildren);
+
+void BM_HierGridNodeAt(benchmark::State& state) {
+  auto grid =
+      spatial::HierarchicalGrid::Create({0, 0, 20, 20}, 4, 4).value();
+  rng::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        grid.NodeAt(4, {rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)}));
+  }
+}
+BENCHMARK(BM_HierGridNodeAt);
+
+void BM_RTreeBuild(benchmark::State& state) {
+  const auto pts = RandomPoints(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spatial::StrRTree::Build(pts, 16));
+  }
+}
+BENCHMARK(BM_RTreeBuild)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RTreeNearest(benchmark::State& state) {
+  auto tree =
+      spatial::StrRTree::Build(RandomPoints(100000, 7), 16).value();
+  rng::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Nearest({rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)}));
+  }
+}
+BENCHMARK(BM_RTreeNearest);
+
+void BM_RTreeKnn10(benchmark::State& state) {
+  auto tree =
+      spatial::StrRTree::Build(RandomPoints(100000, 7), 16).value();
+  rng::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.KNearest(
+        {rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)}, 10));
+  }
+}
+BENCHMARK(BM_RTreeKnn10);
+
+void BM_KdPartitionBuild(benchmark::State& state) {
+  const auto pts = RandomPoints(static_cast<int>(state.range(0)), 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        spatial::KdPartition::Create({0, 0, 20, 20}, pts, 2, 4));
+  }
+}
+BENCHMARK(BM_KdPartitionBuild)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PriorConditional(benchmark::State& state) {
+  const auto pts = RandomPoints(50000, 11);
+  auto prior = prior::Prior::FromPoints({0, 0, 20, 20}, 128, pts).value();
+  auto grid =
+      spatial::HierarchicalGrid::Create({0, 0, 20, 20}, 4, 2).value();
+  std::vector<geo::BBox> boxes;
+  for (const auto& c :
+       grid.Children(spatial::HierarchicalPartition::kRoot)) {
+    boxes.push_back(c.bounds);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prior.ConditionalOn(boxes));
+  }
+}
+BENCHMARK(BM_PriorConditional);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Streaming sanitization: a fleet of mobile clients reports check-ins
+// through the mechanism, as a geo-social app would. Demonstrates
+//   * per-query latency once the per-node LP cache is warm (the paper's
+//     "well below a second per query" claim), and
+//   * utility loss of MSM vs planar Laplace on the same stream.
+//
+//   ./checkin_stream [num_checkins] [epsilon]
+
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+#include <memory>
+
+#include "base/stopwatch.h"
+#include "core/msm.h"
+#include "data/synthetic.h"
+#include "eval/table.h"
+#include "geo/distance.h"
+#include "mechanisms/planar_laplace.h"
+#include "prior/prior.h"
+#include "rng/rng.h"
+#include "spatial/hierarchical_grid.h"
+
+int main(int argc, char** argv) {
+  using namespace geopriv;  // NOLINT: example brevity
+  const int stream_length = argc > 1 ? std::atoi(argv[1]) : 2000;
+  const double eps = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+  auto city = data::YelpLasVegasLike();
+  if (!city.ok()) return 1;
+  std::printf("dataset: %s — %zu check-ins, %lld users\n",
+              city->name.c_str(), city->points.size(),
+              static_cast<long long>(city->num_unique_users()));
+
+  auto prior = std::make_shared<prior::Prior>(
+      prior::Prior::FromPoints(city->domain, 128, city->points).value());
+  auto index = std::make_shared<spatial::HierarchicalGrid>(
+      spatial::HierarchicalGrid::Create(city->domain, 4, 3).value());
+  core::MsmOptions options;
+  auto msm = core::MultiStepMechanism::Create(eps, index, prior, options);
+  if (!msm.ok()) {
+    std::fprintf(stderr, "MSM: %s\n", msm.status().ToString().c_str());
+    return 1;
+  }
+  spatial::UniformGrid leaf_grid(city->domain, 16);
+  auto pl = mechanisms::PlanarLaplaceOnGrid::Create(eps, leaf_grid);
+  if (!pl.ok()) return 1;
+
+  rng::Rng stream_rng(1);
+  double msm_loss = 0.0, pl_loss = 0.0;
+  double msm_ms = 0.0, pl_ms = 0.0, msm_max_ms = 0.0;
+  for (int i = 0; i < stream_length; ++i) {
+    const geo::Point x =
+        city->points[stream_rng.UniformInt(city->points.size())];
+    Stopwatch sw;
+    const geo::Point z_msm = msm->Report(x, stream_rng);
+    const double ms = sw.ElapsedMillis();
+    msm_ms += ms;
+    if (ms > msm_max_ms) msm_max_ms = ms;
+    sw.Reset();
+    const geo::Point z_pl = pl->Report(x, stream_rng);
+    pl_ms += sw.ElapsedMillis();
+    msm_loss += geo::Euclidean(x, z_msm);
+    pl_loss += geo::Euclidean(x, z_pl);
+  }
+
+  eval::Table table(
+      {"mechanism", "mean loss (km)", "mean latency (ms)", "max (ms)"});
+  table.AddRow({"MSM", eval::Fmt(msm_loss / stream_length, 3),
+                eval::Fmt(msm_ms / stream_length, 3),
+                eval::Fmt(msm_max_ms, 1)});
+  table.AddRow({"PL+grid", eval::Fmt(pl_loss / stream_length, 3),
+                eval::Fmt(pl_ms / stream_length, 3), "-"});
+  std::printf("\nstream of %d check-ins at eps = %.2f:\n\n", stream_length,
+              eps);
+  table.Print(std::cout);
+  std::printf(
+      "\nMSM solved %d node LPs (%.2fs total) and served %d cache hits — "
+      "the max latency is the cold-cache solve, the mean is the steady "
+      "state.\n",
+      msm->stats().lp_solves, msm->stats().lp_seconds,
+      msm->stats().cache_hits);
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Nearest-POI quality under obfuscation — the paper's motivating scenario.
+//
+// A user asks "what is the nearest venue?" but only reveals a sanitized
+// location. The service answers for the *reported* point; the user then
+// walks from the *actual* point. This example quantifies the penalty:
+//   * extra walking distance vs the true nearest venue, and
+//   * how often the true nearest venue still appears in the top-k answer,
+// comparing planar Laplace against the multi-step mechanism at equal eps.
+
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+#include <memory>
+
+#include "core/msm.h"
+#include "data/synthetic.h"
+#include "eval/table.h"
+#include "geo/distance.h"
+#include "mechanisms/planar_laplace.h"
+#include "prior/prior.h"
+#include "rng/rng.h"
+#include "spatial/hierarchical_grid.h"
+#include "spatial/str_rtree.h"
+
+namespace {
+
+struct QueryStats {
+  double extra_km = 0.0;   // mean extra walking distance
+  double hit_at_5 = 0.0;   // true nearest venue within the top-5 answer
+};
+
+QueryStats RunQueries(geopriv::mechanisms::Mechanism& mech,
+                      const geopriv::spatial::StrRTree& venues,
+                      const std::vector<geopriv::geo::Point>& requests,
+                      geopriv::rng::Rng& rng) {
+  QueryStats stats;
+  for (const auto& x : requests) {
+    const geopriv::geo::Point z = mech.Report(x, rng);
+    const int true_nearest = venues.Nearest(x);
+    const auto answer = venues.KNearest(z, 5);
+    // The user walks to the service's top answer from the actual spot.
+    const double walked =
+        geopriv::geo::Euclidean(x, venues.point(answer[0]));
+    const double ideal =
+        geopriv::geo::Euclidean(x, venues.point(true_nearest));
+    stats.extra_km += walked - ideal;
+    for (int id : answer) {
+      if (id == true_nearest) {
+        stats.hit_at_5 += 1.0;
+        break;
+      }
+    }
+  }
+  stats.extra_km /= requests.size();
+  stats.hit_at_5 /= requests.size();
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace geopriv;  // NOLINT: example brevity
+  const double eps = argc > 1 ? std::atof(argv[1]) : 0.5;
+  const int num_queries = argc > 2 ? std::atoi(argv[2]) : 500;
+
+  // Synthetic Austin-like city: venues + check-in history.
+  data::SyntheticCityConfig config = data::GowallaAustinLikeConfig();
+  config.num_checkins = 50000;  // enough to shape the prior
+  auto city = data::GenerateSyntheticCity(config);
+  if (!city.ok()) return 1;
+  auto venues = spatial::StrRTree::Build(city->pois);
+  if (!venues.ok()) return 1;
+
+  auto prior = std::make_shared<prior::Prior>(
+      prior::Prior::FromPoints(city->domain, 128, city->points).value());
+  auto index = std::make_shared<spatial::HierarchicalGrid>(
+      spatial::HierarchicalGrid::Create(city->domain, 4, 3).value());
+
+  core::MsmOptions msm_options;
+  auto msm = core::MultiStepMechanism::Create(eps, index, prior, msm_options);
+  if (!msm.ok()) {
+    std::fprintf(stderr, "MSM: %s\n", msm.status().ToString().c_str());
+    return 1;
+  }
+  auto pl = mechanisms::PlanarLaplace::Create(eps);
+  if (!pl.ok()) return 1;
+
+  rng::Rng rng(7);
+  const auto requests = [&] {
+    std::vector<geo::Point> r;
+    for (int i = 0; i < num_queries; ++i) {
+      r.push_back(city->points[rng.UniformInt(city->points.size())]);
+    }
+    return r;
+  }();
+
+  std::printf("nearest-venue queries over %zu venues, eps = %.2f, %d "
+              "queries\n\n",
+              venues->size(), eps, num_queries);
+  rng::Rng prng(11), mrng(11);
+  const QueryStats pl_stats = RunQueries(*pl, *venues, requests, prng);
+  const QueryStats msm_stats = RunQueries(*msm, *venues, requests, mrng);
+
+  eval::Table table({"mechanism", "extra walk (km)", "true-NN in top-5"});
+  table.AddRow({"planar Laplace", eval::Fmt(pl_stats.extra_km, 3),
+                eval::Fmt(pl_stats.hit_at_5, 3)});
+  table.AddRow({"multi-step (MSM)", eval::Fmt(msm_stats.extra_km, 3),
+                eval::Fmt(msm_stats.hit_at_5, 3)});
+  table.Print(std::cout);
+  std::printf("\nMSM answers cost less walking because its reports stay in "
+              "high-prior areas near the user.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Privacy audit: empirically verifies the end-to-end GeoInd guarantee of
+// the multi-step mechanism. For pairs of actual locations (x, x') it
+// estimates Pr[z | x] / Pr[z | x'] by Monte Carlo over every reported leaf
+// z and compares the worst observed ratio against the theoretical bound
+// e^{eps * d(x, x')}.
+//
+//   ./privacy_audit [epsilon] [samples_per_location]
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "core/msm.h"
+#include "data/synthetic.h"
+#include "eval/table.h"
+#include "geo/distance.h"
+#include "prior/prior.h"
+#include "rng/rng.h"
+#include "spatial/hierarchical_grid.h"
+
+int main(int argc, char** argv) {
+  using namespace geopriv;  // NOLINT: example brevity
+  const double eps = argc > 1 ? std::atof(argv[1]) : 0.5;
+  const int samples = argc > 2 ? std::atoi(argv[2]) : 200000;
+
+  data::SyntheticCityConfig config = data::GowallaAustinLikeConfig();
+  config.num_checkins = 30000;
+  auto city = data::GenerateSyntheticCity(config);
+  if (!city.ok()) return 1;
+  auto prior = std::make_shared<prior::Prior>(
+      prior::Prior::FromPoints(city->domain, 64, city->points).value());
+  auto index = std::make_shared<spatial::HierarchicalGrid>(
+      spatial::HierarchicalGrid::Create(city->domain, 2, 2).value());
+  core::MsmOptions options;
+  auto msm = core::MultiStepMechanism::Create(eps, index, prior, options);
+  if (!msm.ok()) {
+    std::fprintf(stderr, "MSM: %s\n", msm.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::pair<geo::Point, geo::Point> pairs[] = {
+      {{6.0, 6.0}, {7.0, 6.0}},    // 1 km apart
+      {{6.0, 6.0}, {9.0, 6.0}},    // 3 km
+      {{4.0, 4.0}, {16.0, 16.0}},  // ~17 km, across the city
+  };
+
+  std::printf("empirical GeoInd audit, eps = %.2f, %d samples per "
+              "location\n\n", eps, samples);
+  eval::Table table({"d(x,x') km", "bound e^{eps d}", "worst observed",
+                     "verdict"});
+  rng::Rng rng(3);
+  for (const auto& [x1, x2] : pairs) {
+    std::map<std::pair<double, double>, int> c1, c2;
+    for (int i = 0; i < samples; ++i) {
+      const geo::Point z1 = msm->Report(x1, rng);
+      const geo::Point z2 = msm->Report(x2, rng);
+      ++c1[{z1.x, z1.y}];
+      ++c2[{z2.x, z2.y}];
+    }
+    const double d = geo::Euclidean(x1, x2);
+    const double bound = std::exp(eps * d);
+    double worst = 0.0;
+    for (const auto& [z, n1] : c1) {
+      const auto it = c2.find(z);
+      const int n2 = it == c2.end() ? 0 : it->second;
+      if (n1 < 1000 || n2 < 1000) continue;  // ratio too noisy
+      worst = std::max(worst,
+                       std::max(static_cast<double>(n1) / n2,
+                                static_cast<double>(n2) / n1));
+    }
+    table.AddRow({eval::Fmt(d, 2), eval::Fmt(bound, 2),
+                  eval::Fmt(worst, 2),
+                  worst <= bound * 1.1 ? "OK" : "VIOLATION?"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nEvery observed likelihood ratio must stay below the bound "
+      "(1.1x slack covers Monte Carlo noise). Far-apart pairs have loose "
+      "bounds — GeoInd protects nearby locations, which is the point.\n");
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/bin/bash
+# Regenerates every paper table/figure: runs all bench binaries in order.
+cd "$(dirname "$0")"
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "===== $b ====="
+    timeout 2400 "$b"
+    echo
+  fi
+done

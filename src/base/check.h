@@ -1,0 +1,41 @@
+// Invariant-checking macros. GEOPRIV_CHECK fires in all build types and is
+// reserved for programming errors (broken invariants), never for user input —
+// user input errors are reported through Status.
+
+#ifndef GEOPRIV_BASE_CHECK_H_
+#define GEOPRIV_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define GEOPRIV_CHECK(condition)                                         \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "GEOPRIV_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #condition);                      \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#define GEOPRIV_CHECK_MSG(condition, msg)                                \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "GEOPRIV_CHECK failed at %s:%d: %s (%s)\n",   \
+                   __FILE__, __LINE__, #condition, msg);                 \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+// Checks that a Status expression is OK; aborts with the message otherwise.
+#define GEOPRIV_CHECK_OK(expr)                                           \
+  do {                                                                   \
+    ::geopriv::Status _geopriv_check_status = (expr);                    \
+    if (!_geopriv_check_status.ok()) {                                   \
+      std::fprintf(stderr, "GEOPRIV_CHECK_OK failed at %s:%d: %s\n",     \
+                   __FILE__, __LINE__,                                   \
+                   _geopriv_check_status.ToString().c_str());            \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#endif  // GEOPRIV_BASE_CHECK_H_

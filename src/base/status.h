@@ -1,0 +1,166 @@
+// Status / StatusOr: exception-free error handling, in the style of
+// Abseil/Arrow/RocksDB. Every fallible operation in geopriv returns a Status
+// (or StatusOr<T> when it also produces a value); callers propagate with
+// GEOPRIV_RETURN_IF_ERROR / GEOPRIV_ASSIGN_OR_RETURN.
+
+#ifndef GEOPRIV_BASE_STATUS_H_
+#define GEOPRIV_BASE_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace geopriv {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kNotFound,
+  kResourceExhausted,
+  kDeadlineExceeded,
+  kInternal,
+  kUnimplemented,
+  kIoError,
+};
+
+// Returns a stable human-readable name ("Ok", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  // Default: OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "Ok" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Value-or-error. Accessing value() on an error aborts (programming error);
+// check ok() or use GEOPRIV_ASSIGN_OR_RETURN.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit by design, mirrors absl.
+      : rep_(std::move(status)) {
+    AbortIfOkStatus();
+  }
+  StatusOr(T value)  // NOLINT: implicit by design, mirrors absl.
+      : rep_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(std::get<T>(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const {
+    if (!ok()) {
+      std::abort();
+    }
+  }
+  void AbortIfOkStatus() const {
+    if (std::holds_alternative<Status>(rep_) &&
+        std::get<Status>(rep_).ok()) {
+      // An OK Status carries no value; constructing a StatusOr from it is a
+      // bug in the caller.
+      std::abort();
+    }
+  }
+
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace geopriv
+
+// Propagates a non-OK status to the caller.
+#define GEOPRIV_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::geopriv::Status _geopriv_status = (expr);      \
+    if (!_geopriv_status.ok()) return _geopriv_status; \
+  } while (false)
+
+#define GEOPRIV_CONCAT_IMPL_(a, b) a##b
+#define GEOPRIV_CONCAT_(a, b) GEOPRIV_CONCAT_IMPL_(a, b)
+
+// GEOPRIV_ASSIGN_OR_RETURN(auto x, Compute()): on error, returns the status.
+#define GEOPRIV_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  GEOPRIV_ASSIGN_OR_RETURN_IMPL_(                                         \
+      GEOPRIV_CONCAT_(_geopriv_statusor_, __LINE__), lhs, rexpr)
+
+#define GEOPRIV_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                   \
+  if (!statusor.ok()) return statusor.status();              \
+  lhs = std::move(statusor).value()
+
+#endif  // GEOPRIV_BASE_STATUS_H_

@@ -1,0 +1,30 @@
+// Monotonic wall-clock stopwatch used by solvers (time limits) and the
+// evaluation harness (latency measurement).
+
+#ifndef GEOPRIV_BASE_STOPWATCH_H_
+#define GEOPRIV_BASE_STOPWATCH_H_
+
+#include <chrono>
+
+namespace geopriv {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_BASE_STOPWATCH_H_

@@ -1,0 +1,139 @@
+#include "core/budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mathx/lattice_sum.h"
+
+namespace geopriv::core {
+
+namespace {
+
+constexpr double kBudgetEpsilon = 1e-9;
+
+StatusOr<BudgetAllocation> AllocateRhoMinimal(
+    double eps, const spatial::HierarchicalPartition& index,
+    const BudgetOptions& options) {
+  const int limit = options.fixed_height > 0
+                        ? options.fixed_height
+                        : std::min(options.max_height, index.height());
+  if (limit < 1) {
+    return Status::InvalidArgument("allocation needs at least one level");
+  }
+  // Minimal per-level requirements (Problem 1 at each level's cell side).
+  std::vector<double> need(limit);
+  for (int i = 0; i < limit; ++i) {
+    const double side = index.TypicalCellSide(i + 1);
+    if (!(side > 0.0)) {
+      return Status::InvalidArgument("index has a level with no cells");
+    }
+    GEOPRIV_ASSIGN_OR_RETURN(need[i],
+                             mathx::MinBudgetForSelfMapping(options.rho,
+                                                            side));
+  }
+
+  BudgetAllocation result;
+  if (options.fixed_height > 0) {
+    // Fixed layout: secure levels 1..h-1 at their minimum, give the rest to
+    // the leaf level; if the minimums cannot all be met, scale
+    // proportionally to the requirements.
+    double upper_need = 0.0;
+    for (int i = 0; i < limit - 1; ++i) upper_need += need[i];
+    if (upper_need < eps) {
+      result.per_level.assign(need.begin(), need.begin() + (limit - 1));
+      result.per_level.push_back(eps - upper_need);
+    } else {
+      double total_need = upper_need + need[limit - 1];
+      result.per_level.resize(limit);
+      for (int i = 0; i < limit; ++i) {
+        result.per_level[i] = eps * need[i] / total_need;
+      }
+    }
+    return result;
+  }
+
+  // Algorithm 2: walk down, give each level min(requirement, remaining),
+  // stop when the budget is spent.
+  double remaining = eps;
+  for (int i = 0; i < limit && remaining > kBudgetEpsilon; ++i) {
+    const double eps_i = std::min(need[i], remaining);
+    result.per_level.push_back(eps_i);
+    remaining -= eps_i;
+  }
+  // Deeper than the index allows (or the cap): leftover budget only helps,
+  // so spend it on the finest level reached.
+  if (remaining > kBudgetEpsilon && !result.per_level.empty()) {
+    result.per_level.back() += remaining;
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<BudgetAllocation> AllocateBudget(
+    double eps, const spatial::HierarchicalPartition& index,
+    const BudgetOptions& options) {
+  if (!(eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  if (!(options.rho > 0.0 && options.rho < 1.0)) {
+    return Status::InvalidArgument("rho must lie in (0, 1)");
+  }
+  if (options.fixed_height > index.height()) {
+    return Status::InvalidArgument("fixed_height exceeds index height");
+  }
+  if (options.max_height < 1) {
+    return Status::InvalidArgument("max_height must be >= 1");
+  }
+
+  const int h = options.fixed_height > 0
+                    ? options.fixed_height
+                    : std::min(options.max_height, index.height());
+
+  BudgetAllocation result;
+  switch (options.policy) {
+    case BudgetPolicy::kRhoMinimal:
+      return AllocateRhoMinimal(eps, index, options);
+    case BudgetPolicy::kUniform:
+      result.per_level.assign(h, eps / h);
+      return result;
+    case BudgetPolicy::kGeometric: {
+      double total = 0.0;
+      std::vector<double> weights(h);
+      for (int i = 0; i < h; ++i) {
+        const double side = index.TypicalCellSide(i + 1);
+        if (!(side > 0.0)) {
+          return Status::InvalidArgument("index has a level with no cells");
+        }
+        weights[i] = 1.0 / side;
+        total += weights[i];
+      }
+      result.per_level.resize(h);
+      for (int i = 0; i < h; ++i) {
+        result.per_level[i] = eps * weights[i] / total;
+      }
+      return result;
+    }
+    case BudgetPolicy::kCustom: {
+      if (static_cast<int>(options.custom_weights.size()) != h) {
+        return Status::InvalidArgument(
+            "custom_weights size must equal the allocation height");
+      }
+      double total = 0.0;
+      for (double w : options.custom_weights) {
+        if (!(w > 0.0)) {
+          return Status::InvalidArgument("custom weights must be positive");
+        }
+        total += w;
+      }
+      result.per_level.resize(h);
+      for (int i = 0; i < h; ++i) {
+        result.per_level[i] = eps * options.custom_weights[i] / total;
+      }
+      return result;
+    }
+  }
+  return Status::Internal("unknown budget policy");
+}
+
+}  // namespace geopriv::core

@@ -1,0 +1,67 @@
+// Privacy-budget allocation across index levels (paper Section 5).
+//
+// The default policy implements Algorithm 2: level i receives the minimal
+// budget eps_i such that the modelled self-mapping probability
+// Phi(eps_i * cell_side_i) reaches rho (Problem 1, solved by bisection on
+// the monotone lattice sum), each level capped by what remains; the height
+// h emerges when the budget runs out. Because only eps * cell_side matters,
+// eps_i grows geometrically with depth — coarse levels are secured first,
+// which is the paper's key contrast with the DP-histogram literature.
+//
+// Alternative policies (uniform, geometric, custom) are provided for the
+// ablation bench and for reproducing Table 2's fixed two-level layout.
+
+#ifndef GEOPRIV_CORE_BUDGET_H_
+#define GEOPRIV_CORE_BUDGET_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "spatial/hierarchical_partition.h"
+
+namespace geopriv::core {
+
+enum class BudgetPolicy {
+  kRhoMinimal,  // Algorithm 2 (default)
+  kUniform,     // eps / h per level
+  kGeometric,   // eps_i proportional to 1 / cell_side_i
+  kCustom,      // caller-specified weights
+};
+
+struct BudgetOptions {
+  BudgetPolicy policy = BudgetPolicy::kRhoMinimal;
+  // Target per-level self-mapping probability (Algorithm 2's rho).
+  double rho = 0.8;
+  // Hard cap on the number of levels used (also bounded by the index
+  // height).
+  int max_height = 16;
+  // If > 0, force exactly this many levels. For kRhoMinimal, levels get
+  // their minimal budget top-down and the last level the remainder; when
+  // the minimal budgets alone exceed the total, all levels are scaled
+  // proportionally to their minimal requirement.
+  int fixed_height = 0;
+  // kCustom: relative weights per level (normalized to the total budget).
+  std::vector<double> custom_weights;
+};
+
+struct BudgetAllocation {
+  // per_level[i] is the budget of level i+1; sums to the total eps.
+  std::vector<double> per_level;
+
+  int height() const { return static_cast<int>(per_level.size()); }
+  double total() const {
+    double t = 0.0;
+    for (double e : per_level) t += e;
+    return t;
+  }
+};
+
+// Computes the allocation for `index` (its TypicalCellSide drives the cost
+// model). Requires eps > 0 and rho in (0, 1).
+StatusOr<BudgetAllocation> AllocateBudget(
+    double eps, const spatial::HierarchicalPartition& index,
+    const BudgetOptions& options);
+
+}  // namespace geopriv::core
+
+#endif  // GEOPRIV_CORE_BUDGET_H_

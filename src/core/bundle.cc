@@ -1,0 +1,258 @@
+#include "core/bundle.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <memory>
+
+#include "prior/prior.h"
+#include "spatial/hierarchical_grid.h"
+
+namespace geopriv::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'P', 'B', '1'};
+constexpr uint32_t kVersion = 1;
+
+// FNV-1a over the serialized payload.
+class Checksum {
+ public:
+  void Update(const void* data, size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ull;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::ofstream& out) : out_(out) {}
+
+  void Bytes(const void* data, size_t size) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+    checksum_.Update(data, size);
+  }
+  void U32(uint32_t v) { Bytes(&v, sizeof(v)); }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void F64(double v) { Bytes(&v, sizeof(v)); }
+
+  uint64_t checksum() const { return checksum_.value(); }
+
+ private:
+  std::ofstream& out_;
+  Checksum checksum_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::ifstream& in) : in_(in) {}
+
+  bool Bytes(void* data, size_t size) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (!in_) return false;
+    checksum_.Update(data, size);
+    return true;
+  }
+  bool U32(uint32_t* v) { return Bytes(v, sizeof(*v)); }
+  bool F64(double* v) { return Bytes(v, sizeof(*v)); }
+
+  uint64_t checksum() const { return checksum_.value(); }
+
+ private:
+  std::ifstream& in_;
+  Checksum checksum_;
+};
+
+}  // namespace
+
+Status ClientBundle::Validate() const {
+  if (!(domain.Width() > 0.0) || !(domain.Height() > 0.0)) {
+    return Status::InvalidArgument("bundle domain must have positive area");
+  }
+  if (!(eps > 0.0) || !(rho > 0.0 && rho < 1.0)) {
+    return Status::InvalidArgument("bundle eps/rho out of range");
+  }
+  if (granularity < 2 || granularity > 64) {
+    return Status::InvalidArgument("bundle granularity out of range");
+  }
+  if (budget.height() < 1 || budget.height() > 20) {
+    return Status::InvalidArgument("bundle budget height out of range");
+  }
+  for (double b : budget.per_level) {
+    if (!(b >= 0.0) || !std::isfinite(b)) {
+      return Status::InvalidArgument("bundle has a bad level budget");
+    }
+  }
+  if (std::abs(budget.total() - eps) > 1e-6 * (1.0 + eps)) {
+    return Status::InvalidArgument("bundle budgets do not sum to eps");
+  }
+  if (prior_granularity < 1 || prior_granularity > 4096) {
+    return Status::InvalidArgument("bundle prior granularity out of range");
+  }
+  const size_t cells = static_cast<size_t>(prior_granularity) *
+                       static_cast<size_t>(prior_granularity);
+  if (prior_mass.size() != cells) {
+    return Status::InvalidArgument("bundle prior size mismatch");
+  }
+  double total = 0.0;
+  for (double m : prior_mass) {
+    if (!(m >= 0.0) || !std::isfinite(m)) {
+      return Status::InvalidArgument("bundle prior has a bad mass");
+    }
+    total += m;
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    return Status::InvalidArgument("bundle prior is not normalized");
+  }
+  return Status::OK();
+}
+
+Status SaveClientBundle(const ClientBundle& bundle,
+                        const std::string& path) {
+  GEOPRIV_RETURN_IF_ERROR(bundle.Validate());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  Writer writer(out);
+  writer.Bytes(kMagic, sizeof(kMagic));
+  writer.U32(kVersion);
+  writer.F64(bundle.domain.min_x);
+  writer.F64(bundle.domain.min_y);
+  writer.F64(bundle.domain.max_x);
+  writer.F64(bundle.domain.max_y);
+  writer.F64(bundle.eps);
+  writer.F64(bundle.rho);
+  writer.U32(static_cast<uint32_t>(bundle.granularity));
+  writer.U32(static_cast<uint32_t>(bundle.budget.height()));
+  for (double b : bundle.budget.per_level) writer.F64(b);
+  writer.U32(static_cast<uint32_t>(bundle.prior_granularity));
+  for (double m : bundle.prior_mass) writer.F64(m);
+  const uint64_t checksum = writer.checksum();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) {
+    return Status::IoError("write to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+StatusOr<ClientBundle> LoadClientBundle(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  Reader reader(in);
+  char magic[4];
+  if (!reader.Bytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a geopriv bundle: " + path);
+  }
+  uint32_t version = 0;
+  if (!reader.U32(&version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported bundle version");
+  }
+  ClientBundle bundle;
+  uint32_t granularity = 0, height = 0, prior_g = 0;
+  const bool header_ok =
+      reader.F64(&bundle.domain.min_x) && reader.F64(&bundle.domain.min_y) &&
+      reader.F64(&bundle.domain.max_x) && reader.F64(&bundle.domain.max_y) &&
+      reader.F64(&bundle.eps) && reader.F64(&bundle.rho) &&
+      reader.U32(&granularity) && reader.U32(&height);
+  if (!header_ok || height > 20) {
+    return Status::InvalidArgument("truncated or corrupt bundle header");
+  }
+  bundle.granularity = static_cast<int>(granularity);
+  bundle.budget.per_level.resize(height);
+  for (uint32_t i = 0; i < height; ++i) {
+    if (!reader.F64(&bundle.budget.per_level[i])) {
+      return Status::InvalidArgument("truncated bundle budgets");
+    }
+  }
+  if (!reader.U32(&prior_g) || prior_g > 4096) {
+    return Status::InvalidArgument("corrupt bundle prior header");
+  }
+  bundle.prior_granularity = static_cast<int>(prior_g);
+  bundle.prior_mass.resize(static_cast<size_t>(prior_g) * prior_g);
+  for (double& m : bundle.prior_mass) {
+    if (!reader.F64(&m)) {
+      return Status::InvalidArgument("truncated bundle prior");
+    }
+  }
+  const uint64_t expected = reader.checksum();
+  uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in || stored != expected) {
+    return Status::InvalidArgument("bundle checksum mismatch");
+  }
+  GEOPRIV_RETURN_IF_ERROR(bundle.Validate());
+  return bundle;
+}
+
+StatusOr<ClientBundle> BuildClientBundle(
+    geo::BBox domain, const std::vector<geo::Point>& checkins, double eps,
+    int granularity, double rho, int prior_granularity) {
+  GEOPRIV_ASSIGN_OR_RETURN(
+      prior::Prior prior,
+      prior::Prior::FromPoints(domain, prior_granularity, checkins));
+  // Index height: stop when leaf cells would shrink below ~40 m (GPS
+  // accuracy), as in the LocationSanitizer facade.
+  constexpr double kMinCellKm = 0.04;
+  int height = 1;
+  double side = std::max(domain.Width(), domain.Height()) / granularity;
+  while (height < 10 && side / granularity > kMinCellKm) {
+    side /= granularity;
+    ++height;
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(
+      spatial::HierarchicalGrid grid,
+      spatial::HierarchicalGrid::Create(domain, granularity, height));
+  BudgetOptions budget_options;
+  budget_options.rho = rho;
+  GEOPRIV_ASSIGN_OR_RETURN(BudgetAllocation budget,
+                           AllocateBudget(eps, grid, budget_options));
+  ClientBundle bundle;
+  bundle.domain = domain;
+  bundle.eps = eps;
+  bundle.rho = rho;
+  bundle.granularity = granularity;
+  bundle.budget = std::move(budget);
+  bundle.prior_granularity = prior_granularity;
+  bundle.prior_mass.resize(
+      static_cast<size_t>(prior_granularity) * prior_granularity);
+  for (size_t i = 0; i < bundle.prior_mass.size(); ++i) {
+    bundle.prior_mass[i] = prior.mass(static_cast<int>(i));
+  }
+  GEOPRIV_RETURN_IF_ERROR(bundle.Validate());
+  return bundle;
+}
+
+StatusOr<MultiStepMechanism> MechanismFromBundle(const ClientBundle& bundle) {
+  GEOPRIV_RETURN_IF_ERROR(bundle.Validate());
+  GEOPRIV_ASSIGN_OR_RETURN(
+      prior::Prior prior,
+      prior::Prior::FromMasses(bundle.domain, bundle.prior_granularity,
+                               bundle.prior_mass));
+  GEOPRIV_ASSIGN_OR_RETURN(
+      spatial::HierarchicalGrid grid,
+      spatial::HierarchicalGrid::Create(bundle.domain, bundle.granularity,
+                                        bundle.budget.height()));
+  MsmOptions options;
+  options.budget.policy = BudgetPolicy::kCustom;
+  options.budget.fixed_height = bundle.budget.height();
+  options.budget.custom_weights = bundle.budget.per_level;
+  options.budget.rho = bundle.rho;
+  return MultiStepMechanism::Create(
+      bundle.eps,
+      std::make_shared<spatial::HierarchicalGrid>(std::move(grid)),
+      std::make_shared<prior::Prior>(std::move(prior)), options);
+}
+
+}  // namespace geopriv::core

@@ -1,0 +1,61 @@
+// Precomputed client bundle (paper Section 3.1): the sanitization runs on
+// the mobile device, which "downloads in advance (offline) a set of objects
+// required to support the technique" — the study-region geometry, the
+// annotated prior, the index parameters, and the budget split. This module
+// packs all of that into a compact versioned binary file that a client can
+// fetch once and load at startup (the paper estimates tens of megabytes;
+// a 256x256 prior bundle is ~0.5 MB).
+//
+// Format (little-endian, fixed-width):
+//   magic "GPB1" | version u32 | domain (4 x f64) | eps f64 | rho f64 |
+//   granularity u32 | height u32 | per-level budgets (height x f64) |
+//   prior granularity u32 | prior masses (g^2 x f64) | FNV-1a checksum u64
+
+#ifndef GEOPRIV_CORE_BUNDLE_H_
+#define GEOPRIV_CORE_BUNDLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/budget.h"
+#include "core/msm.h"
+#include "geo/point.h"
+
+namespace geopriv::core {
+
+struct ClientBundle {
+  geo::BBox domain;               // planar km frame
+  double eps = 0.0;               // total privacy budget
+  double rho = 0.0;               // self-mapping target used for the split
+  int granularity = 0;            // index fanout per axis
+  BudgetAllocation budget;        // per-level split (height implied)
+  int prior_granularity = 0;      // prior histogram resolution
+  std::vector<double> prior_mass; // prior_granularity^2 cells, sums to 1
+
+  // Structural sanity checks (positive budgets, normalized prior, ...).
+  Status Validate() const;
+};
+
+// Serializes the bundle (overwrites the file). The checksum covers every
+// preceding byte, so LoadClientBundle detects truncation and corruption.
+Status SaveClientBundle(const ClientBundle& bundle, const std::string& path);
+
+StatusOr<ClientBundle> LoadClientBundle(const std::string& path);
+
+// Builds a bundle server-side from historical check-ins: computes the prior
+// histogram and runs the budget-allocation cost model once, so clients
+// need no lattice-sum machinery at runtime.
+StatusOr<ClientBundle> BuildClientBundle(
+    geo::BBox domain, const std::vector<geo::Point>& checkins, double eps,
+    int granularity, double rho, int prior_granularity = 128);
+
+// Client-side: reconstructs the ready-to-query multi-step mechanism from a
+// loaded bundle (hierarchical grid of the bundled granularity/height, the
+// bundled prior, and the bundled per-level budgets).
+StatusOr<MultiStepMechanism> MechanismFromBundle(const ClientBundle& bundle);
+
+}  // namespace geopriv::core
+
+#endif  // GEOPRIV_CORE_BUNDLE_H_

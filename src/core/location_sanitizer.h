@@ -1,0 +1,102 @@
+// High-level facade: everything a location-based app needs to sanitize
+// coordinates on-device with geo-indistinguishability.
+//
+//   auto sanitizer = LocationSanitizer::Builder()
+//                        .SetRegionLatLon(30.1927, -97.8698,
+//                                         30.3723, -97.6618)
+//                        .SetEpsilon(0.5)
+//                        .AddCheckinsLatLon(history)   // optional prior
+//                        .Build();
+//   auto [lat, lon] = sanitizer->SanitizeLatLon(30.27, -97.74);
+//
+// Internally: WGS84 -> planar km projection, a check-in prior (or uniform),
+// a hierarchical grid index, budget allocation, and the multi-step
+// mechanism. All state lives on the client; nothing is sent anywhere.
+
+#ifndef GEOPRIV_CORE_LOCATION_SANITIZER_H_
+#define GEOPRIV_CORE_LOCATION_SANITIZER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "core/msm.h"
+#include "geo/projection.h"
+#include "rng/rng.h"
+
+namespace geopriv::core {
+
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+class LocationSanitizer {
+ public:
+  class Builder {
+   public:
+    // Study region as a lat/lon box (south-west / north-east corners).
+    Builder& SetRegionLatLon(double min_lat, double min_lon, double max_lat,
+                             double max_lon);
+    // Total privacy budget (required, > 0). Lower = stronger privacy.
+    Builder& SetEpsilon(double eps);
+    // Index fanout per axis (default 4) and budget target rho (default
+    // 0.8).
+    Builder& SetGranularity(int g);
+    Builder& SetRho(double rho);
+    // Resolution of the prior histogram (default 128).
+    Builder& SetPriorGranularity(int g);
+    // Historical check-ins that shape the prior; without them the prior is
+    // uniform.
+    Builder& AddCheckinsLatLon(const std::vector<LatLon>& checkins);
+    Builder& SetSeed(uint64_t seed);
+    Builder& SetUtilityMetric(geo::UtilityMetric metric);
+
+    StatusOr<LocationSanitizer> Build();
+
+   private:
+    double min_lat_ = 0.0, min_lon_ = 0.0, max_lat_ = 0.0, max_lon_ = 0.0;
+    bool region_set_ = false;
+    double eps_ = 0.0;
+    int granularity_ = 4;
+    double rho_ = 0.8;
+    int prior_granularity_ = 128;
+    std::vector<LatLon> checkins_;
+    uint64_t seed_ = 0x5EED5EED5EEDull;
+    geo::UtilityMetric metric_ = geo::UtilityMetric::kEuclidean;
+  };
+
+  // Sanitizes one coordinate pair. Coordinates outside the configured
+  // region are clamped to it first.
+  LatLon SanitizeLatLon(double lat, double lon);
+
+  // Planar-kilometre variant (the frame used by the experiment harness).
+  geo::Point Sanitize(geo::Point actual);
+
+  // The privacy budget split the cost model chose.
+  const BudgetAllocation& budget() const { return msm_->budget(); }
+
+  MultiStepMechanism& mechanism() { return *msm_; }
+  const geo::EquirectangularProjection& projection() const {
+    return projection_;
+  }
+
+ private:
+  LocationSanitizer(geo::EquirectangularProjection projection,
+                    geo::BBox domain_km,
+                    std::unique_ptr<MultiStepMechanism> msm, uint64_t seed)
+      : projection_(projection),
+        domain_km_(domain_km),
+        msm_(std::move(msm)),
+        rng_(seed) {}
+
+  geo::EquirectangularProjection projection_;
+  geo::BBox domain_km_;
+  std::unique_ptr<MultiStepMechanism> msm_;
+  rng::Rng rng_;
+};
+
+}  // namespace geopriv::core
+
+#endif  // GEOPRIV_CORE_LOCATION_SANITIZER_H_

@@ -1,0 +1,99 @@
+#include "core/msm.h"
+
+#include <utility>
+
+#include "base/check.h"
+
+namespace geopriv::core {
+
+StatusOr<MultiStepMechanism> MultiStepMechanism::Create(
+    double eps, std::shared_ptr<const spatial::HierarchicalPartition> index,
+    std::shared_ptr<const prior::Prior> prior, const MsmOptions& options) {
+  if (!(eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  if (index == nullptr || prior == nullptr) {
+    return Status::InvalidArgument("index and prior must be non-null");
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(BudgetAllocation budget,
+                           AllocateBudget(eps, *index, options.budget));
+  return MultiStepMechanism(eps, std::move(index), std::move(prior), options,
+                            std::move(budget));
+}
+
+StatusOr<mechanisms::OptimalMechanism*>
+MultiStepMechanism::NodeMechanism(spatial::NodeIndex node, int level) {
+  if (options_.cache_nodes) {
+    auto it = cache_.find(node);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      return it->second.get();
+    }
+  }
+  const std::vector<spatial::ChildInfo> children = index_->Children(node);
+  std::vector<geo::Point> centers;
+  std::vector<geo::BBox> boxes;
+  centers.reserve(children.size());
+  boxes.reserve(children.size());
+  for (const spatial::ChildInfo& c : children) {
+    centers.push_back(c.bounds.Center());
+    boxes.push_back(c.bounds);
+  }
+  const std::vector<double> node_prior = prior_->ConditionalOn(boxes);
+  GEOPRIV_CHECK_MSG(level >= 1 && level <= budget_.height(),
+                    "level outside allocation");
+  GEOPRIV_ASSIGN_OR_RETURN(
+      mechanisms::OptimalMechanism mech,
+      mechanisms::OptimalMechanism::Create(budget_.per_level[level - 1],
+                                           std::move(centers), node_prior,
+                                           options_.metric, options_.opt));
+  ++stats_.lp_solves;
+  stats_.lp_seconds += mech.stats().solve_seconds;
+  auto owned =
+      std::make_unique<mechanisms::OptimalMechanism>(std::move(mech));
+  mechanisms::OptimalMechanism* raw = owned.get();
+  if (options_.cache_nodes) {
+    cache_[node] = std::move(owned);
+  } else {
+    // Uncached mode keeps the last mechanism alive until the next call —
+    // enough for the sequential Report() path below.
+    scratch_ = std::move(owned);
+  }
+  return raw;
+}
+
+StatusOr<geo::Point> MultiStepMechanism::ReportOrStatus(geo::Point actual,
+                                                        rng::Rng& rng) {
+  spatial::NodeIndex node = spatial::HierarchicalPartition::kRoot;
+  geo::Point reported = index_->Bounds(node).Center();
+  for (int level = 1; level <= budget_.height(); ++level) {
+    if (index_->IsLeaf(node)) break;  // adaptive indexes may bottom out
+    const std::vector<spatial::ChildInfo> children = index_->Children(node);
+    GEOPRIV_ASSIGN_OR_RETURN(mechanisms::OptimalMechanism* mech,
+                             NodeMechanism(node, level));
+    // Snap the actual location to its enclosing child; random if outside
+    // the current node (Algorithm 1, lines 9-10).
+    int x = -1;
+    for (size_t c = 0; c < children.size(); ++c) {
+      if (children[c].bounds.Contains(actual)) {
+        x = static_cast<int>(c);
+        break;
+      }
+    }
+    if (x < 0) {
+      x = static_cast<int>(rng.UniformInt(children.size()));
+    }
+    const int z = mech->ReportIndex(x, rng);
+    node = children[z].id;
+    reported = children[z].bounds.Center();
+  }
+  return reported;
+}
+
+geo::Point MultiStepMechanism::Report(geo::Point actual, rng::Rng& rng) {
+  auto result = ReportOrStatus(actual, rng);
+  GEOPRIV_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return result.value();
+}
+
+}  // namespace geopriv::core

@@ -1,0 +1,104 @@
+// Multi-Step Mechanism (MSM) — the paper's primary contribution
+// (Algorithm 1). Starting from the index root, each level i:
+//   1. builds the candidate set from the children of the node selected at
+//      level i-1,
+//   2. snaps the user's actual location to its enclosing child (or a
+//      uniformly random child if the actual location fell outside the
+//      node — lines 9-10 of Algorithm 1),
+//   3. runs the optimal mechanism OPT with the level budget eps_i and the
+//      prior conditioned on the node, and
+//   4. samples the next node from the resulting distribution.
+// The leaf-level output's center is reported. By DP composability the whole
+// pipeline satisfies GeoInd with budget sum_i eps_i = eps.
+//
+// Solved per-node LPs are cached: repeated queries that walk through the
+// same node reuse its transition matrix, so the LP cost is paid once per
+// visited node rather than once per query (see MsmOptions::cache_nodes and
+// the micro benches for the effect).
+
+#ifndef GEOPRIV_CORE_MSM_H_
+#define GEOPRIV_CORE_MSM_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "core/budget.h"
+#include "geo/distance.h"
+#include "mechanisms/mechanism.h"
+#include "mechanisms/optimal.h"
+#include "prior/prior.h"
+#include "spatial/hierarchical_partition.h"
+
+namespace geopriv::core {
+
+struct MsmOptions {
+  BudgetOptions budget;
+  mechanisms::OptimalMechanismOptions opt;
+  geo::UtilityMetric metric = geo::UtilityMetric::kEuclidean;
+  // Reuse solved per-node LPs across queries.
+  bool cache_nodes = true;
+};
+
+struct MsmStats {
+  int lp_solves = 0;
+  double lp_seconds = 0.0;
+  int cache_hits = 0;
+};
+
+class MultiStepMechanism final : public mechanisms::Mechanism {
+ public:
+  // `index` and `prior` must outlive the mechanism. The budget allocation
+  // is computed at construction time (it is data-independent).
+  static StatusOr<MultiStepMechanism> Create(
+      double eps, std::shared_ptr<const spatial::HierarchicalPartition> index,
+      std::shared_ptr<const prior::Prior> prior, const MsmOptions& options);
+
+  // Status-returning variant (LP time limits surface here).
+  StatusOr<geo::Point> ReportOrStatus(geo::Point actual, rng::Rng& rng);
+
+  // Mechanism interface; aborts on solver failure (which cannot happen with
+  // the default unlimited solver options).
+  geo::Point Report(geo::Point actual, rng::Rng& rng) override;
+  std::string name() const override { return "MSM"; }
+
+  const BudgetAllocation& budget() const { return budget_; }
+  int height() const { return budget_.height(); }
+  const MsmStats& stats() const { return stats_; }
+  size_t cache_size() const { return cache_.size(); }
+
+  // Per-node mechanism for audits/tests (built and cached on demand).
+  // `level` is the node's depth + 1, i.e. the budget index of its children.
+  StatusOr<mechanisms::OptimalMechanism*> NodeMechanism(
+      spatial::NodeIndex node, int level);
+
+ private:
+  MultiStepMechanism(
+      double eps, std::shared_ptr<const spatial::HierarchicalPartition> index,
+      std::shared_ptr<const prior::Prior> prior, MsmOptions options,
+      BudgetAllocation budget)
+      : eps_(eps),
+        index_(std::move(index)),
+        prior_(std::move(prior)),
+        options_(std::move(options)),
+        budget_(std::move(budget)) {}
+
+  double eps_;
+  std::shared_ptr<const spatial::HierarchicalPartition> index_;
+  std::shared_ptr<const prior::Prior> prior_;
+  MsmOptions options_;
+  BudgetAllocation budget_;
+  std::unordered_map<spatial::NodeIndex,
+                     std::unique_ptr<mechanisms::OptimalMechanism>>
+      cache_;
+  // Holds the most recent mechanism when caching is disabled, keeping the
+  // pointer returned by NodeMechanism() valid until the next call.
+  std::unique_ptr<mechanisms::OptimalMechanism> scratch_;
+  MsmStats stats_;
+};
+
+}  // namespace geopriv::core
+
+#endif  // GEOPRIV_CORE_MSM_H_

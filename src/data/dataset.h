@@ -1,0 +1,75 @@
+// Check-in datasets. The paper evaluates on Gowalla (Austin, TX) and Yelp
+// (Las Vegas, NV) check-ins inside 20x20 km city regions. The SNAP/Yelp
+// dumps cannot be redistributed here, so the repo ships (a) loaders for the
+// real file formats, used when the user provides the files, and (b) a
+// synthetic generator (synthetic.h) whose presets match the papers' record
+// counts and the heavy spatial skew of geo-social check-ins.
+
+#ifndef GEOPRIV_DATA_DATASET_H_
+#define GEOPRIV_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "geo/point.h"
+
+namespace geopriv::data {
+
+struct CheckinRecord {
+  int64_t user_id = 0;
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+// Lat/lon window (degrees), used to cut a city region out of a raw dump.
+struct LatLonBounds {
+  double min_lat, min_lon, max_lat, max_lon;
+
+  bool Contains(double lat, double lon) const {
+    return lat >= min_lat && lat <= max_lat && lon >= min_lon &&
+           lon <= max_lon;
+  }
+};
+
+// The paper's two study regions.
+inline constexpr LatLonBounds kGowallaAustinBounds{30.1927, -97.8698,
+                                                   30.3723, -97.6618};
+inline constexpr LatLonBounds kYelpLasVegasBounds{36.0645, -115.291, 36.2442,
+                                                  -115.069};
+
+// Loads the SNAP Gowalla format: one check-in per line,
+//   <user>\t<ISO time>\t<lat>\t<lon>\t<location id>.
+// Records outside `bounds` (if given) are dropped; malformed lines are
+// skipped (counted in *skipped if non-null).
+StatusOr<std::vector<CheckinRecord>> LoadGowallaCheckins(
+    const std::string& path, const LatLonBounds* bounds = nullptr,
+    int64_t* skipped = nullptr);
+
+// Loads "user_id,lat,lon" CSV with an optional header line.
+StatusOr<std::vector<CheckinRecord>> LoadCsvCheckins(
+    const std::string& path, const LatLonBounds* bounds = nullptr,
+    int64_t* skipped = nullptr);
+
+// A dataset projected into the planar experiment frame.
+struct Dataset {
+  std::string name;
+  geo::BBox domain;               // km, anchored at (0,0)
+  std::vector<geo::Point> points; // one per check-in
+  std::vector<int64_t> users;     // parallel to points
+  // Venue locations (synthetic datasets only; empty for loaded dumps).
+  std::vector<geo::Point> pois;
+
+  int64_t num_unique_users() const;
+};
+
+// Projects records through an equirectangular projection anchored at
+// `bounds`' south-west corner.
+StatusOr<Dataset> ProjectRecords(const std::string& name,
+                                 const LatLonBounds& bounds,
+                                 const std::vector<CheckinRecord>& records);
+
+}  // namespace geopriv::data
+
+#endif  // GEOPRIV_DATA_DATASET_H_

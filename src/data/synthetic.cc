@@ -1,0 +1,125 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "rng/rng.h"
+#include "rng/zipf.h"
+
+namespace geopriv::data {
+
+StatusOr<Dataset> GenerateSyntheticCity(const SyntheticCityConfig& config) {
+  if (config.num_checkins < 1 || config.num_users < 1 ||
+      config.num_pois < 1 || config.num_hotspots < 1) {
+    return Status::InvalidArgument("counts must be positive");
+  }
+  if (!(config.domain.Width() > 0.0) || !(config.domain.Height() > 0.0)) {
+    return Status::InvalidArgument("domain must have positive area");
+  }
+  if (config.hotspot_fraction < 0.0 || config.hotspot_fraction > 1.0 ||
+      config.background_fraction < 0.0 || config.background_fraction > 1.0) {
+    return Status::InvalidArgument("fractions must lie in [0, 1]");
+  }
+  rng::Rng rng(config.seed);
+  const geo::BBox& dom = config.domain;
+
+  // Hotspot centers in the central 60% of the region.
+  std::vector<geo::Point> hotspots(config.num_hotspots);
+  for (auto& h : hotspots) {
+    h = {rng.Uniform(dom.min_x + 0.2 * dom.Width(),
+                     dom.min_x + 0.8 * dom.Width()),
+         rng.Uniform(dom.min_y + 0.2 * dom.Height(),
+                     dom.min_y + 0.8 * dom.Height())};
+  }
+  // Hotspots themselves have skewed importance (downtown >> the rest).
+  GEOPRIV_ASSIGN_OR_RETURN(
+      rng::ZipfSampler hotspot_sampler,
+      rng::ZipfSampler::Create(hotspots.size(), 1.0));
+
+  // POIs.
+  std::vector<geo::Point> pois(config.num_pois);
+  for (auto& poi : pois) {
+    if (rng.Uniform() < config.hotspot_fraction) {
+      const geo::Point h = hotspots[hotspot_sampler.Sample(rng)];
+      poi = dom.Clamp({rng.Gaussian(h.x, config.hotspot_stddev_km),
+                       rng.Gaussian(h.y, config.hotspot_stddev_km)});
+    } else {
+      poi = {rng.Uniform(dom.min_x, dom.max_x),
+             rng.Uniform(dom.min_y, dom.max_y)};
+    }
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(
+      rng::ZipfSampler poi_sampler,
+      rng::ZipfSampler::Create(pois.size(), config.poi_zipf_exponent));
+  GEOPRIV_ASSIGN_OR_RETURN(
+      rng::ZipfSampler user_sampler,
+      rng::ZipfSampler::Create(static_cast<size_t>(config.num_users),
+                               config.user_zipf_exponent));
+
+  Dataset dataset;
+  dataset.name = config.name;
+  dataset.domain = dom;
+  dataset.pois = pois;
+  dataset.points.reserve(config.num_checkins);
+  dataset.users.reserve(config.num_checkins);
+  for (int64_t i = 0; i < config.num_checkins; ++i) {
+    geo::Point p;
+    if (rng.Uniform() < config.background_fraction) {
+      p = {rng.Uniform(dom.min_x, dom.max_x),
+           rng.Uniform(dom.min_y, dom.max_y)};
+    } else {
+      const geo::Point poi = pois[poi_sampler.Sample(rng)];
+      p = dom.Clamp({rng.Gaussian(poi.x, config.jitter_km),
+                     rng.Gaussian(poi.y, config.jitter_km)});
+    }
+    dataset.points.push_back(p);
+    // The first num_users check-ins cover every user once (so the unique
+    // user count matches the configured population exactly, as in the
+    // paper's dataset statistics); the rest follow the Zipf activity law.
+    dataset.users.push_back(
+        i < config.num_users
+            ? i
+            : static_cast<int64_t>(user_sampler.Sample(rng)));
+  }
+  return dataset;
+}
+
+SyntheticCityConfig GowallaAustinLikeConfig() {
+  SyntheticCityConfig config;
+  config.name = "gowalla-austin-like";
+  config.num_checkins = 265571;
+  config.num_users = 12155;
+  config.num_pois = 3500;
+  config.num_hotspots = 7;
+  config.hotspot_stddev_km = 1.1;
+  config.hotspot_fraction = 0.82;
+  config.poi_zipf_exponent = 1.05;
+  config.seed = 20190326;
+  return config;
+}
+
+SyntheticCityConfig YelpLasVegasLikeConfig() {
+  SyntheticCityConfig config;
+  config.name = "yelp-lasvegas-like";
+  config.num_checkins = 81201;
+  config.num_users = 7581;
+  // Las Vegas: fewer, larger venues, and the Strip concentrates the mass
+  // even more than Austin's downtown.
+  config.num_pois = 1500;
+  config.num_hotspots = 4;
+  config.hotspot_stddev_km = 0.9;
+  config.hotspot_fraction = 0.85;
+  config.poi_zipf_exponent = 1.1;
+  config.seed = 20190327;
+  return config;
+}
+
+StatusOr<Dataset> GowallaAustinLike() {
+  return GenerateSyntheticCity(GowallaAustinLikeConfig());
+}
+
+StatusOr<Dataset> YelpLasVegasLike() {
+  return GenerateSyntheticCity(YelpLasVegasLikeConfig());
+}
+
+}  // namespace geopriv::data

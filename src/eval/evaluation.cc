@@ -1,0 +1,57 @@
+#include "eval/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/stopwatch.h"
+
+namespace geopriv::eval {
+
+std::vector<geo::Point> SampleRequests(const std::vector<geo::Point>& points,
+                                       int n, rng::Rng& rng) {
+  std::vector<geo::Point> requests;
+  requests.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    requests.push_back(points[rng.UniformInt(points.size())]);
+  }
+  return requests;
+}
+
+StatusOr<EvalResult> EvaluateMechanism(
+    mechanisms::Mechanism& mechanism,
+    const std::vector<geo::Point>& checkins, const EvalOptions& options) {
+  if (checkins.empty()) {
+    return Status::InvalidArgument("no check-ins to draw requests from");
+  }
+  if (options.num_requests < 1) {
+    return Status::InvalidArgument("num_requests must be >= 1");
+  }
+  rng::Rng rng(options.seed);
+  const std::vector<geo::Point> requests =
+      SampleRequests(checkins, options.num_requests, rng);
+
+  EvalResult result;
+  result.mechanism = mechanism.name();
+  result.requests = options.num_requests;
+  std::vector<double> losses;
+  losses.reserve(requests.size());
+  double total_ms = 0.0;
+  for (const geo::Point& x : requests) {
+    Stopwatch sw;
+    const geo::Point z = mechanism.Report(x, rng);
+    const double ms = sw.ElapsedMillis();
+    total_ms += ms;
+    result.max_ms = std::max(result.max_ms, ms);
+    losses.push_back(geo::UtilityLoss(options.metric, x, z));
+  }
+  double sum = 0.0;
+  for (double l : losses) sum += l;
+  result.mean_loss = sum / losses.size();
+  result.mean_ms = total_ms / losses.size();
+  std::sort(losses.begin(), losses.end());
+  result.p50_loss = losses[losses.size() / 2];
+  result.p95_loss = losses[static_cast<size_t>(losses.size() * 0.95)];
+  return result;
+}
+
+}  // namespace geopriv::eval

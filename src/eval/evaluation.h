@@ -1,0 +1,49 @@
+// Experiment harness (paper Section 6): draws request locations from a
+// dataset's check-ins, runs a mechanism on each, and reports utility-loss
+// and latency statistics.
+
+#ifndef GEOPRIV_EVAL_EVALUATION_H_
+#define GEOPRIV_EVAL_EVALUATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "geo/distance.h"
+#include "mechanisms/mechanism.h"
+#include "rng/rng.h"
+
+namespace geopriv::eval {
+
+struct EvalOptions {
+  // Number of sanitization requests (the paper uses 3,000).
+  int num_requests = 3000;
+  uint64_t seed = 2019;
+  geo::UtilityMetric metric = geo::UtilityMetric::kEuclidean;
+};
+
+struct EvalResult {
+  std::string mechanism;
+  int requests = 0;
+  // Utility loss statistics, in km (d) or km^2 (d^2).
+  double mean_loss = 0.0;
+  double p50_loss = 0.0;
+  double p95_loss = 0.0;
+  // Per-request latency.
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+// Uniformly samples `n` requests (with replacement) from the check-ins.
+std::vector<geo::Point> SampleRequests(const std::vector<geo::Point>& points,
+                                       int n, rng::Rng& rng);
+
+// Runs `mechanism` on requests drawn from `checkins` per `options`.
+StatusOr<EvalResult> EvaluateMechanism(
+    mechanisms::Mechanism& mechanism,
+    const std::vector<geo::Point>& checkins, const EvalOptions& options);
+
+}  // namespace geopriv::eval
+
+#endif  // GEOPRIV_EVAL_EVALUATION_H_

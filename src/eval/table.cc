@@ -1,0 +1,65 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace geopriv::eval {
+
+void Table::AddRow(std::vector<std::string> cells) {
+  GEOPRIV_CHECK_MSG(cells.size() == headers_.size(),
+                    "row width must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+         << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot write " + path);
+  }
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  return Status::OK();
+}
+
+std::string Fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+}  // namespace geopriv::eval

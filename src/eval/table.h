@@ -1,0 +1,39 @@
+// Minimal aligned-column table printer + CSV writer for the benchmark
+// binaries that regenerate the paper's tables and figures.
+
+#ifndef GEOPRIV_EVAL_TABLE_H_
+#define GEOPRIV_EVAL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace geopriv::eval {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  // Row length must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  void Print(std::ostream& os) const;
+
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision double formatting ("3.142" for Fmt(3.14159, 3)).
+std::string Fmt(double value, int precision);
+
+}  // namespace geopriv::eval
+
+#endif  // GEOPRIV_EVAL_TABLE_H_

@@ -1,0 +1,21 @@
+#include "geo/distance.h"
+
+#include <cmath>
+
+namespace geopriv::geo {
+
+double HaversineKm(double lat1_deg, double lon1_deg, double lat2_deg,
+                   double lon2_deg) {
+  constexpr double kEarthRadiusKm = 6371.0088;
+  constexpr double kDegToRad = M_PI / 180.0;
+  const double lat1 = lat1_deg * kDegToRad;
+  const double lat2 = lat2_deg * kDegToRad;
+  const double dlat = (lat2_deg - lat1_deg) * kDegToRad;
+  const double dlon = (lon2_deg - lon1_deg) * kDegToRad;
+  const double a = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(a));
+}
+
+}  // namespace geopriv::geo

@@ -1,0 +1,66 @@
+// Distance metrics. The paper uses the Euclidean distance both as the
+// distinguishability metric d_X (in the GeoInd constraint, Eq. 1) and as a
+// utility-loss metric d_Q; the squared Euclidean distance is the second
+// utility-loss metric (Section 2.2).
+
+#ifndef GEOPRIV_GEO_DISTANCE_H_
+#define GEOPRIV_GEO_DISTANCE_H_
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "geo/point.h"
+
+namespace geopriv::geo {
+
+inline double SquaredEuclidean(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double Euclidean(Point a, Point b) {
+  return std::sqrt(SquaredEuclidean(a, b));
+}
+
+inline double Manhattan(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+// Great-circle distance in kilometres between two WGS84 coordinates given in
+// degrees. Used only to validate the planar projection; mechanisms operate
+// on projected planar coordinates.
+double HaversineKm(double lat1_deg, double lon1_deg, double lat2_deg,
+                   double lon2_deg);
+
+// A named utility-loss metric d_Q(x, z), as used in the OPT objective
+// (Eq. 3) and by the evaluation harness.
+enum class UtilityMetric {
+  kEuclidean,        // d
+  kSquaredEuclidean  // d^2
+};
+
+inline double UtilityLoss(UtilityMetric metric, Point a, Point b) {
+  switch (metric) {
+    case UtilityMetric::kEuclidean:
+      return Euclidean(a, b);
+    case UtilityMetric::kSquaredEuclidean:
+      return SquaredEuclidean(a, b);
+  }
+  return 0.0;
+}
+
+inline std::string UtilityMetricName(UtilityMetric metric) {
+  switch (metric) {
+    case UtilityMetric::kEuclidean:
+      return "euclidean(km)";
+    case UtilityMetric::kSquaredEuclidean:
+      return "squared_euclidean(km^2)";
+  }
+  return "unknown";
+}
+
+}  // namespace geopriv::geo
+
+#endif  // GEOPRIV_GEO_DISTANCE_H_

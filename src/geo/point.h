@@ -1,0 +1,82 @@
+// Planar points and axis-aligned boxes. All mechanism code works in a local
+// planar frame measured in kilometres; geo/projection.h maps WGS84
+// coordinates into that frame.
+
+#ifndef GEOPRIV_GEO_POINT_H_
+#define GEOPRIV_GEO_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace geopriv::geo {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(double k, Point p) { return {k * p.x, k * p.y}; }
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+};
+
+inline std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+// Axis-aligned bounding box [min_x, max_x] x [min_y, max_y].
+struct BBox {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+  double Area() const { return Width() * Height(); }
+  Point Center() const {
+    return {0.5 * (min_x + max_x), 0.5 * (min_y + max_y)};
+  }
+
+  bool Contains(Point p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Intersects(const BBox& o) const {
+    return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+           o.min_y <= max_y;
+  }
+
+  // Smallest box containing both this box and `o`.
+  BBox Union(const BBox& o) const {
+    return {std::fmin(min_x, o.min_x), std::fmin(min_y, o.min_y),
+            std::fmax(max_x, o.max_x), std::fmax(max_y, o.max_y)};
+  }
+
+  // Squared distance from `p` to the box (0 when inside).
+  double SquaredDistanceTo(Point p) const {
+    const double dx = std::fmax(std::fmax(min_x - p.x, 0.0), p.x - max_x);
+    const double dy = std::fmax(std::fmax(min_y - p.y, 0.0), p.y - max_y);
+    return dx * dx + dy * dy;
+  }
+
+  // Clamps `p` to the closest point inside the box.
+  Point Clamp(Point p) const {
+    return {std::fmin(std::fmax(p.x, min_x), max_x),
+            std::fmin(std::fmax(p.y, min_y), max_y)};
+  }
+
+  friend bool operator==(const BBox& a, const BBox& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const BBox& b) {
+  return os << "[" << b.min_x << "," << b.max_x << "]x[" << b.min_y << ","
+            << b.max_y << "]";
+}
+
+}  // namespace geopriv::geo
+
+#endif  // GEOPRIV_GEO_POINT_H_

@@ -1,0 +1,37 @@
+#include "geo/projection.h"
+
+#include <cmath>
+
+namespace geopriv::geo {
+
+namespace {
+// Meridian arc length per degree of latitude; longitude scale is this times
+// cos(latitude) under the spherical approximation.
+constexpr double kKmPerDegLat = 111.19492664455873;  // 2*pi*R/360, R=6371.0088
+}  // namespace
+
+StatusOr<EquirectangularProjection> EquirectangularProjection::Create(
+    double min_lat_deg, double min_lon_deg) {
+  if (!(min_lat_deg >= -89.0 && min_lat_deg <= 89.0)) {
+    return Status::InvalidArgument("anchor latitude out of range");
+  }
+  if (!(min_lon_deg >= -180.0 && min_lon_deg <= 180.0)) {
+    return Status::InvalidArgument("anchor longitude out of range");
+  }
+  const double km_per_deg_lon =
+      kKmPerDegLat * std::cos(min_lat_deg * M_PI / 180.0);
+  return EquirectangularProjection(min_lat_deg, min_lon_deg, km_per_deg_lon);
+}
+
+Point EquirectangularProjection::Forward(double lat_deg, double lon_deg) const {
+  return {(lon_deg - min_lon_deg_) * km_per_deg_lon_,
+          (lat_deg - min_lat_deg_) * kKmPerDegLat};
+}
+
+void EquirectangularProjection::Inverse(Point p, double* lat_deg,
+                                        double* lon_deg) const {
+  *lon_deg = min_lon_deg_ + p.x / km_per_deg_lon_;
+  *lat_deg = min_lat_deg_ + p.y / kKmPerDegLat;
+}
+
+}  // namespace geopriv::geo

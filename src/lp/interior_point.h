@@ -1,0 +1,28 @@
+// Primal-dual interior-point LP solver (Mehrotra predictor-corrector with
+// dense normal equations).
+//
+// Included as the comparison point the paper alludes to in Section 6.1
+// ("the dual simplex ... consistently outperformed the primal simplex and
+// interior-point methods"); see bench/ablation_lp_solvers. For the small
+// per-node programs MSM produces, the simplex with warm starts wins; the
+// interior point is competitive on cold, denser instances.
+
+#ifndef GEOPRIV_LP_INTERIOR_POINT_H_
+#define GEOPRIV_LP_INTERIOR_POINT_H_
+
+#include "lp/model.h"
+#include "lp/solution.h"
+
+namespace geopriv::lp {
+
+class InteriorPoint {
+ public:
+  // Solves `model`. Detects (primal) infeasibility and unboundedness via
+  // divergence heuristics; returns kNumericalError if the normal equations
+  // become singular.
+  static LpSolution Solve(const Model& model, const SolverOptions& options);
+};
+
+}  // namespace geopriv::lp
+
+#endif  // GEOPRIV_LP_INTERIOR_POINT_H_

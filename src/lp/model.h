@@ -1,0 +1,77 @@
+// Sparse linear-program builder:
+//
+//   minimize (or maximize)  c' x
+//   subject to              a_i' x {<=, =, >=} b_i   for every constraint i
+//                           lb_j <= x_j <= ub_j      for every variable j
+//
+// Columns are stored sparsely; the builder supports incremental growth
+// (adding variables/columns after constraints exist), which the optimal
+// mechanism's column-generation loop relies on.
+
+#ifndef GEOPRIV_LP_MODEL_H_
+#define GEOPRIV_LP_MODEL_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "base/status.h"
+
+namespace geopriv::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class ObjectiveSense { kMinimize, kMaximize };
+enum class ConstraintSense { kLessEqual, kEqual, kGreaterEqual };
+
+// One sparse entry: coefficient `value` of variable `var`.
+struct Coefficient {
+  int var;
+  double value;
+};
+
+class Model {
+ public:
+  explicit Model(ObjectiveSense sense = ObjectiveSense::kMinimize)
+      : sense_(sense) {}
+
+  // Adds a variable with box bounds and objective coefficient; returns its
+  // index. Bounds may be +-kInfinity.
+  int AddVariable(double lb, double ub, double objective);
+
+  // Adds a constraint over existing variables; returns its index.
+  int AddConstraint(ConstraintSense sense, double rhs,
+                    std::vector<Coefficient> terms);
+
+  // Appends a coefficient for variable `var` to an existing constraint.
+  // Used when a variable is created after the constraint.
+  void AddCoefficient(int constraint, int var, double value);
+
+  int num_variables() const { return static_cast<int>(obj_.size()); }
+  int num_constraints() const { return static_cast<int>(rhs_.size()); }
+
+  ObjectiveSense sense() const { return sense_; }
+  double objective_coefficient(int var) const { return obj_[var]; }
+  double lower_bound(int var) const { return lb_[var]; }
+  double upper_bound(int var) const { return ub_[var]; }
+  ConstraintSense constraint_sense(int i) const { return row_sense_[i]; }
+  double rhs(int i) const { return rhs_[i]; }
+  const std::vector<Coefficient>& row(int i) const { return rows_[i]; }
+
+  // Validates internal consistency (indices in range, finite coefficients,
+  // lb <= ub).
+  Status Validate() const;
+
+ private:
+  ObjectiveSense sense_;
+  std::vector<double> obj_;
+  std::vector<double> lb_;
+  std::vector<double> ub_;
+  std::vector<ConstraintSense> row_sense_;
+  std::vector<double> rhs_;
+  std::vector<std::vector<Coefficient>> rows_;
+};
+
+}  // namespace geopriv::lp
+
+#endif  // GEOPRIV_LP_MODEL_H_

@@ -1,0 +1,120 @@
+#include "lp/mps_writer.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <vector>
+
+namespace geopriv::lp {
+
+namespace {
+
+char SenseChar(ConstraintSense sense) {
+  switch (sense) {
+    case ConstraintSense::kLessEqual:
+      return 'L';
+    case ConstraintSense::kEqual:
+      return 'E';
+    case ConstraintSense::kGreaterEqual:
+      return 'G';
+  }
+  return 'E';
+}
+
+void WriteEntry(std::ostream& os, const std::string& col,
+                const std::string& row, double value) {
+  os << "    " << std::left << std::setw(10) << col << std::setw(10) << row
+     << std::setprecision(17) << value << "\n";
+}
+
+}  // namespace
+
+Status WriteMps(const Model& model, const std::string& name,
+                std::ostream& os) {
+  GEOPRIV_RETURN_IF_ERROR(model.Validate());
+  const int n = model.num_variables();
+  const int m = model.num_constraints();
+
+  os << "NAME          " << name << "\n";
+  if (model.sense() == ObjectiveSense::kMaximize) {
+    os << "OBJSENSE\n    MAX\n";
+  }
+  os << "ROWS\n";
+  os << " N  COST\n";
+  for (int i = 0; i < m; ++i) {
+    os << " " << SenseChar(model.constraint_sense(i)) << "  R" << i << "\n";
+  }
+
+  // Column-major entries with duplicates summed.
+  std::vector<std::map<int, double>> columns(n);
+  for (int i = 0; i < m; ++i) {
+    for (const Coefficient& t : model.row(i)) {
+      columns[t.var][i] += t.value;
+    }
+  }
+  os << "COLUMNS\n";
+  for (int j = 0; j < n; ++j) {
+    const std::string col = "C" + std::to_string(j);
+    if (model.objective_coefficient(j) != 0.0) {
+      WriteEntry(os, col, "COST", model.objective_coefficient(j));
+    }
+    for (const auto& [row, value] : columns[j]) {
+      if (value != 0.0) {
+        WriteEntry(os, col, "R" + std::to_string(row), value);
+      }
+    }
+  }
+
+  os << "RHS\n";
+  for (int i = 0; i < m; ++i) {
+    if (model.rhs(i) != 0.0) {
+      WriteEntry(os, "RHS1", "R" + std::to_string(i), model.rhs(i));
+    }
+  }
+
+  os << "BOUNDS\n";
+  for (int j = 0; j < n; ++j) {
+    const std::string col = "C" + std::to_string(j);
+    const double lb = model.lower_bound(j);
+    const double ub = model.upper_bound(j);
+    const bool lb_finite = std::isfinite(lb);
+    const bool ub_finite = std::isfinite(ub);
+    if (lb_finite && ub_finite && lb == ub) {
+      os << " FX " << std::left << std::setw(10) << "BND1" << std::setw(10)
+         << col << std::setprecision(17) << lb << "\n";
+      continue;
+    }
+    if (!lb_finite && !ub_finite) {
+      os << " FR " << std::left << std::setw(10) << "BND1" << col << "\n";
+      continue;
+    }
+    // Default MPS lower bound is 0 and upper is +inf; emit only deviations.
+    if (lb_finite && lb != 0.0) {
+      os << " LO " << std::left << std::setw(10) << "BND1" << std::setw(10)
+         << col << std::setprecision(17) << lb << "\n";
+    } else if (!lb_finite) {
+      os << " MI " << std::left << std::setw(10) << "BND1" << col << "\n";
+    }
+    if (ub_finite) {
+      os << " UP " << std::left << std::setw(10) << "BND1" << std::setw(10)
+         << col << std::setprecision(17) << ub << "\n";
+    }
+  }
+  os << "ENDATA\n";
+  if (!os) {
+    return Status::IoError("stream write failed");
+  }
+  return Status::OK();
+}
+
+Status WriteMpsFile(const Model& model, const std::string& name,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  return WriteMps(model, name, out);
+}
+
+}  // namespace geopriv::lp

@@ -1,0 +1,29 @@
+// Fixed-format MPS export for Model. Lets users dump any program this
+// library builds (e.g. an OPT instance) and cross-check it with an external
+// solver — the natural bridge to the paper's Gurobi setup.
+
+#ifndef GEOPRIV_LP_MPS_WRITER_H_
+#define GEOPRIV_LP_MPS_WRITER_H_
+
+#include <ostream>
+#include <string>
+
+#include "base/status.h"
+#include "lp/model.h"
+
+namespace geopriv::lp {
+
+// Writes `model` in MPS format to `os`. Rows are named R0..Rm-1, columns
+// C0..Cn-1. Maximization models carry the (widely supported) OBJSENSE
+// section. Duplicate coefficients for the same (row, column) pair are
+// summed, as MPS requires a single entry.
+Status WriteMps(const Model& model, const std::string& name,
+                std::ostream& os);
+
+// Convenience: writes to a file.
+Status WriteMpsFile(const Model& model, const std::string& name,
+                    const std::string& path);
+
+}  // namespace geopriv::lp
+
+#endif  // GEOPRIV_LP_MPS_WRITER_H_

@@ -1,0 +1,140 @@
+#include "lp/presolve.h"
+
+#include <cmath>
+#include <limits>
+
+namespace geopriv::lp {
+
+namespace {
+
+constexpr double kFeasTol = 1e-9;
+
+bool RowHoldsTrivially(ConstraintSense sense, double activity, double rhs) {
+  switch (sense) {
+    case ConstraintSense::kLessEqual:
+      return activity <= rhs + kFeasTol;
+    case ConstraintSense::kGreaterEqual:
+      return activity >= rhs - kFeasTol;
+    case ConstraintSense::kEqual:
+      return std::abs(activity - rhs) <= kFeasTol;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<double> PresolveResult::RestoreSolution(
+    const std::vector<double>& reduced_x) const {
+  std::vector<double> x(fixed_value);
+  for (size_t j = 0; j < reduced_to_original.size(); ++j) {
+    x[reduced_to_original[j]] = j < reduced_x.size() ? reduced_x[j] : 0.0;
+  }
+  return x;
+}
+
+StatusOr<PresolveResult> Presolve(const Model& model) {
+  GEOPRIV_RETURN_IF_ERROR(model.Validate());
+  const int n = model.num_variables();
+  const int m = model.num_constraints();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  PresolveResult result;
+  result.reduced = Model(model.sense());  // preserve the objective sense
+  result.fixed_value.assign(n, nan);
+
+  // Working bounds, tightened by singleton rows.
+  std::vector<double> lb(n), ub(n);
+  for (int j = 0; j < n; ++j) {
+    lb[j] = model.lower_bound(j);
+    ub[j] = model.upper_bound(j);
+  }
+
+  // Pass 1: singleton rows become bounds.
+  std::vector<bool> drop_row(m, false);
+  for (int i = 0; i < m; ++i) {
+    // Net coefficient per variable (rows may carry duplicates).
+    int var = -1;
+    double coeff = 0.0;
+    bool singleton = true;
+    for (const Coefficient& t : model.row(i)) {
+      if (var >= 0 && t.var != var) {
+        singleton = false;
+        break;
+      }
+      var = t.var;
+      coeff += t.value;
+    }
+    if (!singleton || var < 0) continue;
+    if (coeff == 0.0) continue;  // handled as an empty row below
+    const double bound = model.rhs(i) / coeff;
+    const ConstraintSense sense = model.constraint_sense(i);
+    // coeff < 0 flips the direction of inequalities.
+    const bool upper =
+        (sense == ConstraintSense::kLessEqual) == (coeff > 0.0);
+    if (sense == ConstraintSense::kEqual) {
+      lb[var] = std::max(lb[var], bound);
+      ub[var] = std::min(ub[var], bound);
+    } else if (upper) {
+      ub[var] = std::min(ub[var], bound);
+    } else {
+      lb[var] = std::max(lb[var], bound);
+    }
+    drop_row[i] = true;
+    ++result.removed_rows;
+  }
+  for (int j = 0; j < n; ++j) {
+    if (lb[j] > ub[j] + kFeasTol) {
+      result.infeasible = true;
+      return result;
+    }
+    // Snap nearly-equal bounds to a consistent fixed value.
+    if (lb[j] > ub[j]) lb[j] = ub[j];
+  }
+
+  // Pass 2: decide which variables survive (non-fixed ones).
+  std::vector<int> new_index(n, -1);
+  for (int j = 0; j < n; ++j) {
+    if (lb[j] == ub[j]) {
+      result.fixed_value[j] = lb[j];
+      result.objective_offset += model.objective_coefficient(j) * lb[j];
+      ++result.removed_variables;
+    } else {
+      new_index[j] = result.reduced.AddVariable(
+          lb[j], ub[j], model.objective_coefficient(j));
+      result.reduced_to_original.push_back(j);
+    }
+  }
+
+  // Pass 3: rewrite surviving rows with fixed variables substituted.
+  for (int i = 0; i < m; ++i) {
+    if (drop_row[i]) continue;
+    double rhs = model.rhs(i);
+    double fixed_activity = 0.0;
+    std::vector<Coefficient> terms;
+    for (const Coefficient& t : model.row(i)) {
+      if (new_index[t.var] >= 0) {
+        terms.push_back({new_index[t.var], t.value});
+      } else {
+        fixed_activity += t.value * result.fixed_value[t.var];
+      }
+    }
+    rhs -= fixed_activity;
+    if (terms.empty()) {
+      // Fully determined row: either trivially true or infeasible.
+      if (!RowHoldsTrivially(model.constraint_sense(i), 0.0, rhs)) {
+        result.infeasible = true;
+        PresolveResult out;
+        out.infeasible = true;
+        out.fixed_value = std::move(result.fixed_value);
+        return out;
+      }
+      ++result.removed_rows;
+      continue;
+    }
+    result.reduced.AddConstraint(model.constraint_sense(i), rhs,
+                                 std::move(terms));
+  }
+  return result;
+}
+
+}  // namespace geopriv::lp

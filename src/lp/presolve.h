@@ -1,0 +1,52 @@
+// LP presolve: cheap reductions applied before the simplex/interior-point
+// solvers. Handles the patterns that appear in mechanically generated
+// programs (like OPT's): fixed variables (lb == ub) are substituted out,
+// singleton rows (one nonzero) become variable bounds, and empty rows are
+// checked and dropped. Trivial infeasibility is detected without invoking
+// a solver.
+//
+//   auto pre = Presolve(model);
+//   if (pre->infeasible) ...;
+//   LpSolution reduced_sol = RevisedSimplex::Solve(pre->reduced, options);
+//   std::vector<double> x = pre->RestoreSolution(reduced_sol.x);
+
+#ifndef GEOPRIV_LP_PRESOLVE_H_
+#define GEOPRIV_LP_PRESOLVE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "lp/model.h"
+
+namespace geopriv::lp {
+
+struct PresolveResult {
+  // The reduced program (empty when `infeasible` is set).
+  Model reduced;
+  // True when presolve proved the original program infeasible.
+  bool infeasible = false;
+  // Constant contributed to the original objective by substituted
+  // variables: objective(original x) = objective(reduced x) + offset.
+  double objective_offset = 0.0;
+  // Reduction statistics.
+  int removed_variables = 0;
+  int removed_rows = 0;
+
+  // Maps a reduced-model solution vector back to the original variable
+  // space (substituted variables take their fixed values).
+  std::vector<double> RestoreSolution(
+      const std::vector<double>& reduced_x) const;
+
+  // Internal bookkeeping (public for tests): original index of each
+  // reduced variable, and the fixed value of each original variable that
+  // was removed (NaN for surviving variables).
+  std::vector<int> reduced_to_original;
+  std::vector<double> fixed_value;
+};
+
+// Runs the reductions. Fails only on malformed models (Validate()).
+StatusOr<PresolveResult> Presolve(const Model& model);
+
+}  // namespace geopriv::lp
+
+#endif  // GEOPRIV_LP_PRESOLVE_H_

@@ -1,0 +1,61 @@
+// Common result and option types shared by all LP solvers.
+
+#ifndef GEOPRIV_LP_SOLUTION_H_
+#define GEOPRIV_LP_SOLUTION_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace geopriv::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kTimeLimit,
+  kNumericalError,
+  // The instance needs a dense basis inverse larger than
+  // SolverOptions::max_basis_rows allows.
+  kTooLarge,
+};
+
+std::string SolveStatusToString(SolveStatus status);
+
+struct SolverOptions {
+  // Wall-clock budget; the solver returns kTimeLimit when exceeded.
+  double time_limit_seconds = std::numeric_limits<double>::infinity();
+  // Simplex pivots (or interior-point iterations).
+  int max_iterations = 1000000;
+  double feasibility_tolerance = 1e-8;
+  double optimality_tolerance = 1e-8;
+  // Simplex: rebuild the basis inverse from scratch every this many pivots
+  // to bound accumulated floating-point error. Product-form updates are
+  // stable on the well-scaled bases this library produces, so the default
+  // refactorizes rarely; lower it for ill-conditioned models.
+  int refactorization_interval = 2000;
+  // Upper bound on the basis dimension: the revised simplex keeps a dense
+  // m x m inverse, so memory grows quadratically with the row count. The
+  // default caps that matrix at ~1.2 GB; instances beyond it return
+  // kTooLarge instead of exhausting memory.
+  int max_basis_rows = 12000;
+};
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kNumericalError;
+  double objective = 0.0;
+  // One value per model variable.
+  std::vector<double> x;
+  // One dual multiplier per model constraint (simplex only; empty for
+  // interior point unless converged).
+  std::vector<double> duals;
+  int iterations = 0;
+  double solve_seconds = 0.0;
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+}  // namespace geopriv::lp
+
+#endif  // GEOPRIV_LP_SOLUTION_H_

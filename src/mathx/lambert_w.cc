@@ -1,0 +1,84 @@
+#include "mathx/lambert_w.h"
+
+#include <cmath>
+#include <limits>
+
+namespace geopriv::mathx {
+
+namespace {
+
+constexpr double kInvE = 0.36787944117144232;  // 1/e
+constexpr int kMaxIterations = 64;
+
+// Halley's method on f(w) = w * e^w - x, which converges cubically from the
+// branch-appropriate initial guess.
+double HalleyRefine(double w, double x) {
+  for (int i = 0; i < kMaxIterations; ++i) {
+    const double ew = std::exp(w);
+    const double f = w * ew - x;
+    if (f == 0.0) break;
+    const double wp1 = w + 1.0;
+    const double denom = ew * wp1 - (w + 2.0) * f / (2.0 * wp1);
+    const double step = f / denom;
+    w -= step;
+    if (std::abs(step) <= 1e-16 * (1.0 + std::abs(w))) break;
+  }
+  return w;
+}
+
+}  // namespace
+
+double LambertW0(double x) {
+  if (x < -kInvE) return std::numeric_limits<double>::quiet_NaN();
+  if (x == 0.0) return 0.0;
+  double w;
+  if (x < -kInvE + 1e-4) {
+    // Series around the branch point w = -1: w = -1 + p - p^2/3 + ...
+    const double p = std::sqrt(2.0 * (std::fma(x, M_E, 1.0)));
+    w = -1.0 + p - p * p / 3.0;
+  } else if (x < 1.0) {
+    // Pade-like rational start near 0.
+    w = x * (1.0 - x + 1.5 * x * x) / (1.0 + 0.5 * x);
+  } else if (x < M_E) {
+    // Moderate range: log(1+x) is within ~20% of W_0 here.
+    w = std::log(1.0 + x);
+  } else {
+    // Asymptotic start for large x (log(x) >= 1, so log(log(x)) >= 0).
+    const double l1 = std::log(x);
+    const double l2 = std::log(l1);
+    w = l1 - l2 + l2 / l1;
+  }
+  return HalleyRefine(w, x);
+}
+
+double LambertWm1(double x) {
+  if (x < -kInvE || x >= 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  double w;
+  if (x < -kInvE + 1e-4) {
+    // Series around the branch point, lower branch: w = -1 - p - p^2/3 - ...
+    const double p = std::sqrt(2.0 * (std::fma(x, M_E, 1.0)));
+    w = -1.0 - p - p * p / 3.0;
+  } else {
+    // For x -> 0^-: W_{-1}(x) ~ log(-x) - log(-log(-x)).
+    const double l1 = std::log(-x);
+    const double l2 = std::log(-l1);
+    w = l1 - l2 + l2 / l1;
+  }
+  return HalleyRefine(w, x);
+}
+
+StatusOr<double> PlanarLaplaceInverseRadialCdf(double eps, double p) {
+  if (!(eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  if (!(p >= 0.0 && p < 1.0)) {
+    return Status::InvalidArgument("p must lie in [0, 1)");
+  }
+  if (p == 0.0) return 0.0;
+  const double w = LambertWm1((p - 1.0) * kInvE);
+  return -(w + 1.0) / eps;
+}
+
+}  // namespace geopriv::mathx

@@ -1,0 +1,28 @@
+// Real branches of the Lambert W function (inverse of w * e^w).
+//
+// The planar Laplace mechanism needs W_{-1}: the radial CDF of the polar
+// Laplacian is C_eps(r) = 1 - (1 + eps*r) * exp(-eps*r) and its inverse is
+//   r = -(1/eps) * (W_{-1}((p - 1) / e) + 1).
+
+#ifndef GEOPRIV_MATHX_LAMBERT_W_H_
+#define GEOPRIV_MATHX_LAMBERT_W_H_
+
+#include "base/status.h"
+
+namespace geopriv::mathx {
+
+// Principal branch W_0(x), defined for x >= -1/e. Returns NaN outside the
+// domain.
+double LambertW0(double x);
+
+// Branch W_{-1}(x), defined for -1/e <= x < 0. Returns NaN outside the
+// domain.
+double LambertWm1(double x);
+
+// Inverse CDF of the planar-Laplace radial distribution: the unique r >= 0
+// with 1 - (1 + eps*r) * exp(-eps*r) = p. Requires eps > 0 and p in [0, 1).
+StatusOr<double> PlanarLaplaceInverseRadialCdf(double eps, double p);
+
+}  // namespace geopriv::mathx
+
+#endif  // GEOPRIV_MATHX_LAMBERT_W_H_

@@ -1,0 +1,112 @@
+#include "mathx/lattice_sum.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "mathx/special_functions.h"
+
+namespace geopriv::mathx {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+// Upper bound on the part of the sum outside the square [-A, A]^2: every
+// such point has Chebyshev norm m > A and Euclidean norm >= m, and there are
+// 8m points of Chebyshev norm m, so the tail is at most
+// sum_{m > A} 8 m e^{-s m}.
+double SquareTailBound(double s, int a) {
+  const double q = std::exp(-s);
+  const double q_a1 = std::exp(-s * (a + 1));
+  // sum_{m >= A+1} 8 m q^m = 8 q^{A+1} ((A+1)(1-q) + q) / (1-q)^2.
+  const double one_minus_q = 1.0 - q;
+  return 8.0 * q_a1 * ((a + 1) * one_minus_q + q) / (one_minus_q * one_minus_q);
+}
+
+}  // namespace
+
+double LatticeExponentialSumDirect(double s, double tol) {
+  GEOPRIV_CHECK_MSG(s > 0.0, "lattice sum requires s > 0");
+  int a = 8;
+  while (SquareTailBound(s, a) > tol && a < 100000) {
+    a *= 2;
+  }
+  // Sum over the closed square [-a, a]^2 exploiting 8-fold symmetry:
+  // enumerate 0 <= j <= i <= a and weight by the orbit size.
+  double sum = 1.0;  // origin
+  for (int i = 1; i <= a; ++i) {
+    // (i, 0) orbit: (+-i, 0), (0, +-i) -> 4 points.
+    sum += 4.0 * std::exp(-s * i);
+    // (i, i) orbit: 4 points.
+    sum += 4.0 * std::exp(-s * i * M_SQRT2);
+    for (int j = 1; j < i; ++j) {
+      // (i, j), j < i: 8 points.
+      sum += 8.0 * std::exp(-s * std::sqrt(static_cast<double>(i) * i +
+                                           static_cast<double>(j) * j));
+    }
+  }
+  return sum;
+}
+
+double LatticeExponentialSumSeries(double s, double tol) {
+  GEOPRIV_CHECK_MSG(s > 0.0 && s < kTwoPi,
+                    "series expansion requires 0 < s < 2*pi");
+  double total = kTwoPi / (s * s);
+  constexpr int kMaxTerms = 60;
+  for (int k = 1; k <= kMaxTerms; ++k) {
+    const double c =
+        4.0 * GeneralizedBinomial(-1.5, k - 1) *
+        std::pow(kTwoPi, -2.0 * k) * RiemannZeta(k + 0.5) *
+        DirichletBeta(k + 0.5);
+    const double term = c * std::pow(s, 2.0 * k - 1.0);
+    total += term;
+    if (std::abs(term) < tol) break;
+  }
+  return total;
+}
+
+double LatticeExponentialSum(double s) {
+  GEOPRIV_CHECK_MSG(s > 0.0, "lattice sum requires s > 0");
+  // The series wins for small s (the direct sum would need a huge radius);
+  // the direct sum is cheap and exact-to-tolerance for moderate s.
+  if (s < 0.5) return LatticeExponentialSumSeries(s);
+  return LatticeExponentialSumDirect(s);
+}
+
+double SelfMappingProbability(double eps, double cell_side) {
+  GEOPRIV_CHECK_MSG(eps > 0.0 && cell_side > 0.0,
+                    "eps and cell_side must be positive");
+  return 1.0 / LatticeExponentialSum(eps * cell_side);
+}
+
+StatusOr<double> MinBudgetForSelfMapping(double rho, double cell_side) {
+  if (!(rho > 0.0 && rho < 1.0)) {
+    return Status::InvalidArgument("rho must lie in (0, 1)");
+  }
+  if (!(cell_side > 0.0)) {
+    return Status::InvalidArgument("cell_side must be positive");
+  }
+  // Solve T(s) = 1/rho for the product s = eps * cell_side; T is strictly
+  // decreasing, so bisection converges unconditionally.
+  const double target = 1.0 / rho;
+  double lo = 1e-9;
+  double hi = 1.0;
+  while (LatticeExponentialSum(hi) > target) {
+    hi *= 2.0;
+    if (hi > 1e6) {
+      return Status::Internal("self-mapping bisection failed to bracket");
+    }
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (LatticeExponentialSum(mid) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi) / cell_side;
+}
+
+}  // namespace geopriv::mathx

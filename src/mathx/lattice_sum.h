@@ -1,0 +1,46 @@
+// Lattice sums for the budget-allocation cost model (paper Section 5).
+//
+// The self-mapping probability of the optimal mechanism on a granularity-g
+// grid over a region of side L is approximated (paper Eq. 7) by
+//   Phi = 1 / T(s),   with s = eps * L / g   (eps times the cell side) and
+//   T(s) = sum over (a,b) in Z^2 of exp(-s * sqrt(a^2 + b^2)).
+//
+// T is evaluated two ways:
+//  * direct truncated summation with a rigorous tail bound (any s > 0);
+//  * the paper's Poisson-summation / Dirichlet-series expansion (Eq. 8-10),
+//    T(s) = 2*pi/s^2 + sum_{k>=1} c_{2k-1} s^{2k-1} with
+//    c_{2k-1} = 4 * C(-3/2, k-1) * (2*pi)^{-2k} * zeta(k+1/2) * beta(k+1/2),
+//    which converges for s < 2*pi and is far cheaper for small s (i.e. small
+//    eps, the common tight-privacy regime).
+
+#ifndef GEOPRIV_MATHX_LATTICE_SUM_H_
+#define GEOPRIV_MATHX_LATTICE_SUM_H_
+
+#include "base/status.h"
+
+namespace geopriv::mathx {
+
+// Direct summation, truncated so the neglected tail is below `tol`.
+// Requires s > 0.
+double LatticeExponentialSumDirect(double s, double tol = 1e-12);
+
+// Paper Eq. (8)-(10). Requires 0 < s < 2*pi (converges in that disk); the
+// evaluation stops once terms drop below `tol`.
+double LatticeExponentialSumSeries(double s, double tol = 1e-12);
+
+// Picks the series for small s and direct summation otherwise.
+double LatticeExponentialSum(double s);
+
+// Phi = 1 / T(eps * cell_side): the modelled probability that the optimal
+// mechanism maps a cell to itself. Requires eps > 0, cell_side > 0.
+double SelfMappingProbability(double eps, double cell_side);
+
+// Problem 1 of the paper: the minimal budget eps such that
+// SelfMappingProbability(eps, cell_side) >= rho. Solved by bisection, which
+// is exact here because T is strictly decreasing in eps. Requires
+// rho in (0, 1) and cell_side > 0.
+StatusOr<double> MinBudgetForSelfMapping(double rho, double cell_side);
+
+}  // namespace geopriv::mathx
+
+#endif  // GEOPRIV_MATHX_LATTICE_SUM_H_

@@ -1,0 +1,62 @@
+#include "mathx/special_functions.h"
+
+#include <cmath>
+#include <limits>
+
+#include "base/check.h"
+
+namespace geopriv::mathx {
+
+double RiemannZeta(double s) {
+  if (!(s > 1.0)) return std::numeric_limits<double>::quiet_NaN();
+  // Euler-Maclaurin: sum the first N-1 terms directly, then correct with the
+  // integral tail, the midpoint term, and Bernoulli-number corrections.
+  constexpr int kN = 24;
+  double sum = 0.0;
+  for (int n = 1; n < kN; ++n) {
+    sum += std::pow(n, -s);
+  }
+  const double n = kN;
+  const double n_pow = std::pow(n, -s);
+  sum += n * n_pow / (s - 1.0);  // integral tail: N^{1-s} / (s-1)
+  sum += 0.5 * n_pow;
+  // Correction terms with B_2 = 1/6, B_4 = -1/30, B_6 = 1/42:
+  //   sum_k B_{2k}/(2k)! * (s)(s+1)...(s+2k-2) * N^{-s-2k+1}.
+  double term = s * n_pow / n;  // s * N^{-s-1}
+  sum += term / 12.0;
+  term *= (s + 1.0) * (s + 2.0) / (n * n);
+  sum -= term / 720.0;
+  term *= (s + 3.0) * (s + 4.0) / (n * n);
+  sum += term / 30240.0;
+  return sum;
+}
+
+double DirichletBeta(double s) {
+  GEOPRIV_CHECK_MSG(s > 0.0, "DirichletBeta requires s > 0");
+  // Cohen-Rodriguez Villegas-Zagier acceleration of the alternating series
+  // sum_{k>=0} (-1)^k a_k with a_k = (2k+1)^{-s}.
+  constexpr int kTerms = 40;
+  double d = std::pow(3.0 + std::sqrt(8.0), kTerms);
+  d = (d + 1.0 / d) / 2.0;
+  double b = -1.0;
+  double c = -d;
+  double sum = 0.0;
+  for (int k = 0; k < kTerms; ++k) {
+    c = b - c;
+    sum += c * std::pow(2.0 * k + 1.0, -s);
+    b = (k + kTerms) * (k - kTerms) * b /
+        ((k + 0.5) * (k + 1.0));
+  }
+  return sum / d;
+}
+
+double GeneralizedBinomial(double alpha, int k) {
+  GEOPRIV_CHECK_MSG(k >= 0, "binomial requires k >= 0");
+  double result = 1.0;
+  for (int j = 1; j <= k; ++j) {
+    result *= (alpha - (j - 1)) / j;
+  }
+  return result;
+}
+
+}  // namespace geopriv::mathx

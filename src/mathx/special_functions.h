@@ -1,0 +1,26 @@
+// Special functions needed by the budget-allocation cost model (Section 5 of
+// the paper): the Riemann zeta function at real s > 1, the Dirichlet L-series
+// L(s, chi_4) (also known as the Dirichlet beta function), and generalized
+// binomial coefficients.
+
+#ifndef GEOPRIV_MATHX_SPECIAL_FUNCTIONS_H_
+#define GEOPRIV_MATHX_SPECIAL_FUNCTIONS_H_
+
+namespace geopriv::mathx {
+
+// Riemann zeta(s) for real s > 1 (Euler-Maclaurin summation; ~1e-13
+// absolute accuracy for s >= 1.1). Returns NaN for s <= 1.
+double RiemannZeta(double s);
+
+// Dirichlet beta(s) = L(s, chi_4) = sum_{n>=0} (-1)^n / (2n+1)^s for real
+// s > 0, evaluated with Cohen-Rodriguez Villegas-Zagier alternating-series
+// acceleration (~1e-14 accuracy).
+double DirichletBeta(double s);
+
+// Generalized binomial coefficient C(alpha, k) for real alpha and integer
+// k >= 0: alpha * (alpha-1) * ... * (alpha-k+1) / k!.
+double GeneralizedBinomial(double alpha, int k);
+
+}  // namespace geopriv::mathx
+
+#endif  // GEOPRIV_MATHX_SPECIAL_FUNCTIONS_H_

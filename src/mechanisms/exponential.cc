@@ -1,0 +1,69 @@
+#include "mechanisms/exponential.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "geo/distance.h"
+
+namespace geopriv::mechanisms {
+
+StatusOr<DiscreteExponential> DiscreteExponential::Create(
+    double eps, std::vector<geo::Point> locations) {
+  if (!(eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  if (locations.empty()) {
+    return Status::InvalidArgument("need at least one candidate location");
+  }
+  DiscreteExponential mech(eps, std::move(locations));
+  mech.rows_.resize(mech.locations_.size());
+  mech.samplers_.resize(mech.locations_.size());
+  return mech;
+}
+
+void DiscreteExponential::EnsureRow(int x) {
+  if (!rows_[x].empty()) return;
+  const int n = num_locations();
+  std::vector<double> row(n);
+  double sum = 0.0;
+  for (int z = 0; z < n; ++z) {
+    row[z] =
+        std::exp(-0.5 * eps_ * geo::Euclidean(locations_[x], locations_[z]));
+    sum += row[z];
+  }
+  for (double& v : row) v /= sum;
+  auto sampler = rng::AliasSampler::Create(row);
+  GEOPRIV_CHECK_MSG(sampler.ok(), "exponential row sampler failed");
+  samplers_[x] = std::move(sampler).value();
+  rows_[x] = std::move(row);
+}
+
+double DiscreteExponential::K(int x, int z) const {
+  const_cast<DiscreteExponential*>(this)->EnsureRow(x);
+  return rows_[x][z];
+}
+
+int DiscreteExponential::ReportIndex(int x, rng::Rng& rng) {
+  GEOPRIV_CHECK_MSG(x >= 0 && x < num_locations(), "index out of range");
+  EnsureRow(x);
+  return static_cast<int>(samplers_[x]->Sample(rng));
+}
+
+int DiscreteExponential::IndexOf(geo::Point p) const {
+  int best = 0;
+  double best_d = geo::SquaredEuclidean(p, locations_[0]);
+  for (int i = 1; i < num_locations(); ++i) {
+    const double d = geo::SquaredEuclidean(p, locations_[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+geo::Point DiscreteExponential::Report(geo::Point actual, rng::Rng& rng) {
+  return locations_[ReportIndex(IndexOf(actual), rng)];
+}
+
+}  // namespace geopriv::mechanisms

@@ -1,0 +1,54 @@
+// Discrete exponential mechanism over a candidate set:
+//   K(x)(z) proportional to exp(-(eps/2) * d(x, z)).
+// Satisfies eps-GeoInd: by the triangle inequality the unnormalized mass
+// ratio between x and x' is at most e^{(eps/2) d(x,x')}, and the
+// normalizers contribute at most the same factor again.
+//
+// Not in the paper's evaluation — included as a prior-free middle ground
+// between PL+grid (continuous noise, remapped) and OPT (prior-aware LP);
+// see bench/ablation_budget_policies for where it lands.
+
+#ifndef GEOPRIV_MECHANISMS_EXPONENTIAL_H_
+#define GEOPRIV_MECHANISMS_EXPONENTIAL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "mechanisms/mechanism.h"
+#include "rng/alias_sampler.h"
+
+namespace geopriv::mechanisms {
+
+class DiscreteExponential final : public Mechanism {
+ public:
+  static StatusOr<DiscreteExponential> Create(
+      double eps, std::vector<geo::Point> locations);
+
+  geo::Point Report(geo::Point actual, rng::Rng& rng) override;
+  std::string name() const override { return "EXP"; }
+
+  int ReportIndex(int x, rng::Rng& rng);
+  int IndexOf(geo::Point p) const;
+  int num_locations() const { return static_cast<int>(locations_.size()); }
+
+  // Transition probability K(x)(z).
+  double K(int x, int z) const;
+
+ private:
+  DiscreteExponential(double eps, std::vector<geo::Point> locations)
+      : eps_(eps), locations_(std::move(locations)) {}
+
+  void EnsureRow(int x);
+
+  double eps_;
+  std::vector<geo::Point> locations_;
+  // Row-lazy transition weights (normalized) and samplers.
+  std::vector<std::vector<double>> rows_;
+  std::vector<std::optional<rng::AliasSampler>> samplers_;
+};
+
+}  // namespace geopriv::mechanisms
+
+#endif  // GEOPRIV_MECHANISMS_EXPONENTIAL_H_

@@ -1,0 +1,30 @@
+// Common interface of location-obfuscation mechanisms. A mechanism maps the
+// user's actual location to a randomly drawn reported location; GeoInd
+// mechanisms additionally guarantee Eq. (1) of the paper:
+//   Pr[z | x] <= e^{eps * d(x, x')} * Pr[z | x']   for all x, x', z.
+
+#ifndef GEOPRIV_MECHANISMS_MECHANISM_H_
+#define GEOPRIV_MECHANISMS_MECHANISM_H_
+
+#include <string>
+
+#include "geo/point.h"
+#include "rng/rng.h"
+
+namespace geopriv::mechanisms {
+
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  // Draws a reported location for `actual`. Non-const because
+  // implementations may lazily build and cache sampling structures.
+  virtual geo::Point Report(geo::Point actual, rng::Rng& rng) = 0;
+
+  // Short identifier used in logs and experiment tables ("PL", "OPT", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace geopriv::mechanisms
+
+#endif  // GEOPRIV_MECHANISMS_MECHANISM_H_

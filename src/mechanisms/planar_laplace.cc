@@ -1,0 +1,43 @@
+#include "mechanisms/planar_laplace.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "mathx/lambert_w.h"
+
+namespace geopriv::mechanisms {
+
+StatusOr<PlanarLaplace> PlanarLaplace::Create(double eps) {
+  if (!(eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  return PlanarLaplace(eps);
+}
+
+geo::Point PlanarLaplace::Report(geo::Point actual, rng::Rng& rng) {
+  const double theta = rng.Uniform(0.0, 2.0 * M_PI);
+  // p < 1 strictly, so the radius is finite.
+  const double p = rng.Uniform();
+  auto radius = mathx::PlanarLaplaceInverseRadialCdf(eps_, p);
+  GEOPRIV_CHECK_MSG(radius.ok(), "radial inverse CDF failed");
+  const double r = radius.value();
+  return {actual.x + r * std::cos(theta), actual.y + r * std::sin(theta)};
+}
+
+StatusOr<PlanarLaplaceOnGrid> PlanarLaplaceOnGrid::Create(
+    double eps, spatial::UniformGrid grid) {
+  GEOPRIV_ASSIGN_OR_RETURN(PlanarLaplace pl, PlanarLaplace::Create(eps));
+  return PlanarLaplaceOnGrid(pl, std::move(grid));
+}
+
+geo::Point PlanarLaplaceOnGrid::Report(geo::Point actual, rng::Rng& rng) {
+  return grid_.CenterOf(ReportCell(actual, rng));
+}
+
+int PlanarLaplaceOnGrid::ReportCell(geo::Point actual, rng::Rng& rng) {
+  // CellOf clamps, which implements the "project back onto the domain"
+  // remapping step for outputs that land outside the study region.
+  return grid_.CellOf(pl_.Report(actual, rng));
+}
+
+}  // namespace geopriv::mechanisms

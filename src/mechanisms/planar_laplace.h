@@ -1,0 +1,58 @@
+// Planar Laplace mechanism (paper Section 2.3, from Andres et al. [1]):
+// adds noise from the bivariate distribution with density
+// (eps^2 / 2*pi) * exp(-eps * d(x, z)), drawn in polar coordinates with the
+// radius from the inverse CDF (via the Lambert W_{-1} branch).
+//
+// PlanarLaplaceOnGrid adds the paper's post-processing step for discrete
+// settings: the continuous output is clamped to the domain and remapped to
+// the center of its enclosing grid cell. Remapping is output
+// post-processing, so GeoInd is preserved.
+
+#ifndef GEOPRIV_MECHANISMS_PLANAR_LAPLACE_H_
+#define GEOPRIV_MECHANISMS_PLANAR_LAPLACE_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "mechanisms/mechanism.h"
+#include "spatial/grid.h"
+
+namespace geopriv::mechanisms {
+
+class PlanarLaplace final : public Mechanism {
+ public:
+  // Requires eps > 0.
+  static StatusOr<PlanarLaplace> Create(double eps);
+
+  geo::Point Report(geo::Point actual, rng::Rng& rng) override;
+  std::string name() const override { return "PL"; }
+
+  double eps() const { return eps_; }
+
+ private:
+  explicit PlanarLaplace(double eps) : eps_(eps) {}
+  double eps_;
+};
+
+class PlanarLaplaceOnGrid final : public Mechanism {
+ public:
+  static StatusOr<PlanarLaplaceOnGrid> Create(double eps,
+                                              spatial::UniformGrid grid);
+
+  geo::Point Report(geo::Point actual, rng::Rng& rng) override;
+  std::string name() const override { return "PL+grid"; }
+
+  // Cell index of the reported location (convenience for discrete callers).
+  int ReportCell(geo::Point actual, rng::Rng& rng);
+
+ private:
+  PlanarLaplaceOnGrid(PlanarLaplace pl, spatial::UniformGrid grid)
+      : pl_(pl), grid_(std::move(grid)) {}
+
+  PlanarLaplace pl_;
+  spatial::UniformGrid grid_;
+};
+
+}  // namespace geopriv::mechanisms
+
+#endif  // GEOPRIV_MECHANISMS_PLANAR_LAPLACE_H_

@@ -1,0 +1,82 @@
+#include "mechanisms/remap.h"
+
+#include <cmath>
+#include <limits>
+
+namespace geopriv::mechanisms {
+
+StatusOr<RemapTable> RemapTable::Build(
+    const std::vector<geo::Point>& locations,
+    const std::vector<double>& prior,
+    const std::function<double(int, int)>& likelihood,
+    geo::UtilityMetric metric) {
+  if (locations.empty()) {
+    return Status::InvalidArgument("need at least one location");
+  }
+  if (prior.size() != locations.size()) {
+    return Status::InvalidArgument("prior size must match locations");
+  }
+  const int n = static_cast<int>(locations.size());
+  std::vector<int> table(n);
+  std::vector<double> posterior(n);
+  for (int z = 0; z < n; ++z) {
+    // Unnormalized posterior over the actual location given report z.
+    double total = 0.0;
+    for (int x = 0; x < n; ++x) {
+      posterior[x] = prior[x] * likelihood(x, z);
+      total += posterior[x];
+    }
+    if (!(total > 0.0)) {
+      table[z] = z;  // uninformative: keep the report
+      continue;
+    }
+    int best = z;
+    double best_loss = std::numeric_limits<double>::infinity();
+    for (int zp = 0; zp < n; ++zp) {
+      double loss = 0.0;
+      for (int x = 0; x < n; ++x) {
+        loss +=
+            posterior[x] * geo::UtilityLoss(metric, locations[x],
+                                            locations[zp]);
+      }
+      if (loss < best_loss) {
+        best_loss = loss;
+        best = zp;
+      }
+    }
+    table[z] = best;
+  }
+  return RemapTable(std::move(table));
+}
+
+StatusOr<RemappedPlanarLaplace> RemappedPlanarLaplace::Create(
+    double eps, spatial::UniformGrid grid, const std::vector<double>& prior,
+    geo::UtilityMetric metric) {
+  if (static_cast<int>(prior.size()) != grid.num_cells()) {
+    return Status::InvalidArgument("prior size must equal the cell count");
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(PlanarLaplaceOnGrid pl,
+                           PlanarLaplaceOnGrid::Create(eps, grid));
+  const std::vector<geo::Point> centers = grid.AllCenters();
+  GEOPRIV_ASSIGN_OR_RETURN(
+      RemapTable table,
+      RemapTable::Build(centers, prior, PlanarLaplaceKernel(centers, eps),
+                        metric));
+  return RemappedPlanarLaplace(std::move(pl), std::move(grid),
+                               std::move(table));
+}
+
+geo::Point RemappedPlanarLaplace::Report(geo::Point actual, rng::Rng& rng) {
+  const int cell = pl_.ReportCell(actual, rng);
+  return grid_.CenterOf(table_.Remap(cell));
+}
+
+std::function<double(int, int)> PlanarLaplaceKernel(
+    const std::vector<geo::Point>& locations, double eps) {
+  // Captures a copy so the kernel outlives the caller's vector.
+  return [locations, eps](int x, int z) {
+    return std::exp(-eps * geo::Euclidean(locations[x], locations[z]));
+  };
+}
+
+}  // namespace geopriv::mechanisms

@@ -1,0 +1,78 @@
+// Bayesian optimal remapping (Chatzikokolakis et al., "Efficient utility
+// improvement for location privacy" — reference [5] of the paper): given a
+// mechanism's likelihood kernel and a prior, each reported location z is
+// deterministically replaced by
+//   r(z) = argmin_{z'} sum_x Pi_x * L(z | x) * d_Q(x, z').
+// Remapping is post-processing of the output, so it never weakens GeoInd,
+// and it strictly improves expected utility for skewed priors.
+
+#ifndef GEOPRIV_MECHANISMS_REMAP_H_
+#define GEOPRIV_MECHANISMS_REMAP_H_
+
+#include <functional>
+#include <vector>
+
+#include "base/status.h"
+#include "geo/distance.h"
+#include "geo/point.h"
+#include "mechanisms/planar_laplace.h"
+#include "spatial/grid.h"
+
+namespace geopriv::mechanisms {
+
+class RemapTable {
+ public:
+  // `likelihood(x, z)` returns an unnormalized L(z | x) for candidate
+  // indices x, z over `locations`. The remap target set equals the
+  // candidate set.
+  static StatusOr<RemapTable> Build(
+      const std::vector<geo::Point>& locations,
+      const std::vector<double>& prior,
+      const std::function<double(int, int)>& likelihood,
+      geo::UtilityMetric metric);
+
+  // Remapped index for reported index z.
+  int Remap(int z) const { return table_[z]; }
+
+  const std::vector<int>& table() const { return table_; }
+
+ private:
+  explicit RemapTable(std::vector<int> table) : table_(std::move(table)) {}
+  std::vector<int> table_;
+};
+
+// Convenience: the planar-Laplace likelihood kernel e^{-eps d(x,z)} over a
+// discrete candidate set (for remapping PL+grid outputs).
+std::function<double(int, int)> PlanarLaplaceKernel(
+    const std::vector<geo::Point>& locations, double eps);
+
+// Planar Laplace + grid snap + Bayesian remap as one mechanism: the
+// cheapest prior-aware baseline (no LP). GeoInd holds because both the
+// snap and the remap are output post-processing.
+class RemappedPlanarLaplace final : public Mechanism {
+ public:
+  // `prior` is over the grid's cells (size granularity^2).
+  static StatusOr<RemappedPlanarLaplace> Create(
+      double eps, spatial::UniformGrid grid, const std::vector<double>& prior,
+      geo::UtilityMetric metric);
+
+  geo::Point Report(geo::Point actual, rng::Rng& rng) override;
+  std::string name() const override { return "PL+remap"; }
+
+  // The deterministic output remap z -> z' (for inspection/tests).
+  int Remap(int cell) const { return table_.Remap(cell); }
+
+ private:
+  RemappedPlanarLaplace(PlanarLaplaceOnGrid pl, spatial::UniformGrid grid,
+                        RemapTable table)
+      : pl_(std::move(pl)), grid_(std::move(grid)),
+        table_(std::move(table)) {}
+
+  PlanarLaplaceOnGrid pl_;
+  spatial::UniformGrid grid_;
+  RemapTable table_;
+};
+
+}  // namespace geopriv::mechanisms
+
+#endif  // GEOPRIV_MECHANISMS_REMAP_H_

@@ -1,0 +1,140 @@
+#include "prior/prior.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace geopriv::prior {
+
+StatusOr<Prior> Prior::FromPoints(geo::BBox domain, int granularity,
+                                  const std::vector<geo::Point>& points,
+                                  double smoothing) {
+  if (granularity < 1) {
+    return Status::InvalidArgument("granularity must be >= 1");
+  }
+  if (!(domain.Width() > 0.0) || !(domain.Height() > 0.0)) {
+    return Status::InvalidArgument("domain must have positive area");
+  }
+  if (smoothing < 0.0) {
+    return Status::InvalidArgument("smoothing must be >= 0");
+  }
+  spatial::UniformGrid grid(domain, granularity);
+  std::vector<double> mass(grid.num_cells(), smoothing);
+  double total = smoothing * grid.num_cells();
+  for (const geo::Point& p : points) {
+    if (!domain.Contains(p)) continue;
+    mass[grid.CellOf(p)] += 1.0;
+    total += 1.0;
+  }
+  if (!(total > 0.0)) {
+    return Status::InvalidArgument(
+        "no points inside the domain and no smoothing");
+  }
+  for (double& m : mass) m /= total;
+  return Prior(std::move(grid), std::move(mass));
+}
+
+StatusOr<Prior> Prior::FromMasses(geo::BBox domain, int granularity,
+                                  std::vector<double> masses) {
+  if (granularity < 1) {
+    return Status::InvalidArgument("granularity must be >= 1");
+  }
+  if (!(domain.Width() > 0.0) || !(domain.Height() > 0.0)) {
+    return Status::InvalidArgument("domain must have positive area");
+  }
+  spatial::UniformGrid grid(domain, granularity);
+  if (masses.size() != static_cast<size_t>(grid.num_cells())) {
+    return Status::InvalidArgument("masses size must equal granularity^2");
+  }
+  double total = 0.0;
+  for (double m : masses) {
+    if (!(m >= 0.0) || !std::isfinite(m)) {
+      return Status::InvalidArgument("masses must be finite and >= 0");
+    }
+    total += m;
+  }
+  if (!(total > 0.0)) {
+    return Status::InvalidArgument("masses must have a positive sum");
+  }
+  for (double& m : masses) m /= total;
+  return Prior(std::move(grid), std::move(masses));
+}
+
+Prior Prior::Uniform(geo::BBox domain, int granularity) {
+  spatial::UniformGrid grid(domain, granularity);
+  std::vector<double> mass(grid.num_cells(),
+                           1.0 / static_cast<double>(grid.num_cells()));
+  return Prior(std::move(grid), std::move(mass));
+}
+
+double Prior::MassIn(const geo::BBox& box) const {
+  const geo::BBox& dom = grid_.domain();
+  const double cw = grid_.cell_width();
+  const double ch = grid_.cell_height();
+  const int g = grid_.granularity();
+  // Fine-cell index windows overlapped by the box.
+  int c0 = static_cast<int>(std::floor((box.min_x - dom.min_x) / cw));
+  int c1 = static_cast<int>(std::ceil((box.max_x - dom.min_x) / cw)) - 1;
+  int r0 = static_cast<int>(std::floor((box.min_y - dom.min_y) / ch));
+  int r1 = static_cast<int>(std::ceil((box.max_y - dom.min_y) / ch)) - 1;
+  c0 = std::max(c0, 0);
+  r0 = std::max(r0, 0);
+  c1 = std::min(c1, g - 1);
+  r1 = std::min(r1, g - 1);
+  double total = 0.0;
+  for (int r = r0; r <= r1; ++r) {
+    const double cell_min_y = dom.min_y + r * ch;
+    const double oy = std::min(box.max_y, cell_min_y + ch) -
+                      std::max(box.min_y, cell_min_y);
+    if (oy <= 0.0) continue;
+    for (int c = c0; c <= c1; ++c) {
+      const double cell_min_x = dom.min_x + c * cw;
+      const double ox = std::min(box.max_x, cell_min_x + cw) -
+                        std::max(box.min_x, cell_min_x);
+      if (ox <= 0.0) continue;
+      total += mass_[grid_.cell_at(r, c)] * (ox * oy) / (cw * ch);
+    }
+  }
+  return total;
+}
+
+std::vector<double> Prior::CellMasses(
+    const std::vector<geo::BBox>& cells) const {
+  std::vector<double> masses(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) masses[i] = MassIn(cells[i]);
+  return masses;
+}
+
+std::vector<double> Prior::ConditionalOn(
+    const std::vector<geo::BBox>& cells) const {
+  GEOPRIV_CHECK_MSG(!cells.empty(), "conditional prior over empty cell set");
+  std::vector<double> masses = CellMasses(cells);
+  double total = 0.0;
+  for (double m : masses) total += m;
+  if (total <= 1e-15) {
+    // Region carries no prior mass: fall back to the uninformative prior.
+    std::fill(masses.begin(), masses.end(),
+              1.0 / static_cast<double>(masses.size()));
+    return masses;
+  }
+  for (double& m : masses) m /= total;
+  return masses;
+}
+
+std::vector<double> Prior::OnGrid(const spatial::UniformGrid& coarse) const {
+  std::vector<geo::BBox> cells(coarse.num_cells());
+  for (int i = 0; i < coarse.num_cells(); ++i) {
+    cells[i] = coarse.CellBounds(i);
+  }
+  std::vector<double> masses = CellMasses(cells);
+  // Normalize away boundary roundoff.
+  double total = 0.0;
+  for (double m : masses) total += m;
+  if (total > 0.0) {
+    for (double& m : masses) m /= total;
+  }
+  return masses;
+}
+
+}  // namespace geopriv::prior

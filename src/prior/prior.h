@@ -1,0 +1,70 @@
+// Adversarial prior over the study region (paper Sections 2.3 / 6.1): a
+// probability field describing where an average user is expected to be. It
+// is stored as a histogram on a fine uniform grid built from check-in data,
+// and aggregated on demand to the (coarser) cells the mechanisms work on —
+// mirroring the paper's procedure of keeping one finest-granularity prior
+// and coarsening it per experiment.
+
+#ifndef GEOPRIV_PRIOR_PRIOR_H_
+#define GEOPRIV_PRIOR_PRIOR_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "geo/point.h"
+#include "spatial/grid.h"
+
+namespace geopriv::prior {
+
+class Prior {
+ public:
+  // Histogram of `points` over a `granularity`-square grid on `domain`,
+  // with optional additive (Laplace-style) smoothing per cell. Points
+  // outside the domain are ignored; fails if no point falls inside and
+  // smoothing is zero.
+  static StatusOr<Prior> FromPoints(geo::BBox domain, int granularity,
+                                    const std::vector<geo::Point>& points,
+                                    double smoothing = 0.0);
+
+  // Uniform prior (what an adversary with no background knowledge holds).
+  static Prior Uniform(geo::BBox domain, int granularity);
+
+  // Reconstructs a prior from precomputed masses (e.g. a client bundle);
+  // `masses` must hold granularity^2 nonnegative values with positive sum
+  // (normalized internally).
+  static StatusOr<Prior> FromMasses(geo::BBox domain, int granularity,
+                                    std::vector<double> masses);
+
+  const spatial::UniformGrid& grid() const { return grid_; }
+
+  // Probability mass of fine cell `cell`.
+  double mass(int cell) const { return mass_[cell]; }
+
+  // Total probability mass inside `box`, computed by area-weighted overlap
+  // with the fine cells (exact when `box` aligns with the fine grid).
+  double MassIn(const geo::BBox& box) const;
+
+  // Masses of a family of boxes (e.g. the cells of a coarser grid or the
+  // children of an index node).
+  std::vector<double> CellMasses(const std::vector<geo::BBox>& cells) const;
+
+  // Conditional distribution over `cells`, i.e. CellMasses normalized to
+  // sum to 1. Falls back to the uniform distribution when the region
+  // carries (numerically) no mass — the zero-knowledge default.
+  std::vector<double> ConditionalOn(const std::vector<geo::BBox>& cells) const;
+
+  // Probability of the user being at each cell of a coarser g x g grid over
+  // the whole domain (the flat OPT baseline's prior).
+  std::vector<double> OnGrid(const spatial::UniformGrid& coarse) const;
+
+ private:
+  Prior(spatial::UniformGrid grid, std::vector<double> mass)
+      : grid_(std::move(grid)), mass_(std::move(mass)) {}
+
+  spatial::UniformGrid grid_;
+  std::vector<double> mass_;
+};
+
+}  // namespace geopriv::prior
+
+#endif  // GEOPRIV_PRIOR_PRIOR_H_

@@ -1,0 +1,74 @@
+#include "rng/alias_sampler.h"
+
+#include <cmath>
+
+namespace geopriv::rng {
+
+StatusOr<AliasSampler> AliasSampler::Create(
+    const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("alias sampler needs at least one weight");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      return Status::InvalidArgument("weights must be finite and >= 0");
+    }
+    sum += w;
+  }
+  if (!(sum > 0.0)) {
+    return Status::InvalidArgument("weights must have a positive sum");
+  }
+
+  const size_t n = weights.size();
+  std::vector<double> normalized(n);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    normalized[i] = weights[i] / sum;
+    scaled[i] = normalized[i] * static_cast<double>(n);
+  }
+
+  std::vector<double> prob(n, 1.0);
+  std::vector<size_t> alias(n, 0);
+  std::vector<size_t> small;
+  std::vector<size_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    large.pop_back();
+    prob[s] = scaled[s];
+    alias[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are exactly 1 up to floating-point error.
+  for (size_t i : small) prob[i] = 1.0;
+  for (size_t i : large) prob[i] = 1.0;
+
+  return AliasSampler(std::move(prob), std::move(alias),
+                      std::move(normalized));
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  const size_t i = static_cast<size_t>(rng.UniformInt(prob_.size()));
+  return rng.Uniform() < prob_[i] ? i : alias_[i];
+}
+
+size_t SampleLinear(const std::vector<double>& weights, double weight_sum,
+                    Rng& rng) {
+  double u = rng.Uniform() * weight_sum;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace geopriv::rng

@@ -1,0 +1,52 @@
+// Walker's alias method: O(n) construction, O(1) sampling from a fixed
+// discrete distribution. Rows of the optimal mechanism's stochastic matrix K
+// are sampled millions of times across an evaluation run, so constant-time
+// draws matter (see bench/micro_mechanisms for the comparison against linear
+// scanning).
+
+#ifndef GEOPRIV_RNG_ALIAS_SAMPLER_H_
+#define GEOPRIV_RNG_ALIAS_SAMPLER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "base/status.h"
+#include "rng/rng.h"
+
+namespace geopriv::rng {
+
+class AliasSampler {
+ public:
+  // `weights` must be non-negative with a positive sum; they are normalized
+  // internally.
+  static StatusOr<AliasSampler> Create(const std::vector<double>& weights);
+
+  // Draws an index in [0, size()) with probability proportional to its
+  // weight.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  // Normalized probability of index i (for testing/inspection).
+  double probability(size_t i) const { return normalized_[i]; }
+
+ private:
+  AliasSampler(std::vector<double> prob, std::vector<size_t> alias,
+               std::vector<double> normalized)
+      : prob_(std::move(prob)),
+        alias_(std::move(alias)),
+        normalized_(std::move(normalized)) {}
+
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+  std::vector<double> normalized_;
+};
+
+// Reference implementation: linear scan over the CDF. Used by tests and the
+// sampling micro-benchmark.
+size_t SampleLinear(const std::vector<double>& weights, double weight_sum,
+                    Rng& rng);
+
+}  // namespace geopriv::rng
+
+#endif  // GEOPRIV_RNG_ALIAS_SAMPLER_H_

@@ -1,0 +1,48 @@
+// Deterministic, seedable random source. All randomized components take an
+// Rng& so experiments are reproducible end-to-end from a single seed.
+
+#ifndef GEOPRIV_RNG_RNG_H_
+#define GEOPRIV_RNG_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace geopriv::rng {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  // Uniform in [0, 1).
+  double Uniform() {
+    return std::generate_canonical<double, 53>(engine_);
+  }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  // Uniform integer in [0, n).
+  uint64_t UniformInt(uint64_t n) {
+    std::uniform_int_distribution<uint64_t> dist(0, n - 1);
+    return dist(engine_);
+  }
+
+  // Standard normal.
+  double Gaussian() {
+    std::normal_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace geopriv::rng
+
+#endif  // GEOPRIV_RNG_RNG_H_

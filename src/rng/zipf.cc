@@ -1,0 +1,23 @@
+#include "rng/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+namespace geopriv::rng {
+
+StatusOr<ZipfSampler> ZipfSampler::Create(size_t n, double s) {
+  if (n == 0) {
+    return Status::InvalidArgument("Zipf sampler needs n >= 1");
+  }
+  if (!(s >= 0.0)) {
+    return Status::InvalidArgument("Zipf exponent must be >= 0");
+  }
+  std::vector<double> weights(n);
+  for (size_t k = 0; k < n; ++k) {
+    weights[k] = std::pow(static_cast<double>(k + 1), -s);
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(AliasSampler alias, AliasSampler::Create(weights));
+  return ZipfSampler(std::move(alias));
+}
+
+}  // namespace geopriv::rng

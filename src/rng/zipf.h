@@ -1,0 +1,32 @@
+// Zipf(s) sampler over ranks {0, ..., n-1}: P(rank k) proportional to
+// (k+1)^{-s}. Models the heavy-tailed POI popularity observed in geo-social
+// check-in datasets (the synthetic workload generator's key ingredient).
+
+#ifndef GEOPRIV_RNG_ZIPF_H_
+#define GEOPRIV_RNG_ZIPF_H_
+
+#include <cstddef>
+
+#include "base/status.h"
+#include "rng/alias_sampler.h"
+#include "rng/rng.h"
+
+namespace geopriv::rng {
+
+class ZipfSampler {
+ public:
+  // Requires n >= 1 and s >= 0 (s = 0 degenerates to uniform).
+  static StatusOr<ZipfSampler> Create(size_t n, double s);
+
+  size_t Sample(Rng& rng) const { return alias_.Sample(rng); }
+  size_t size() const { return alias_.size(); }
+  double probability(size_t rank) const { return alias_.probability(rank); }
+
+ private:
+  explicit ZipfSampler(AliasSampler alias) : alias_(std::move(alias)) {}
+  AliasSampler alias_;
+};
+
+}  // namespace geopriv::rng
+
+#endif  // GEOPRIV_RNG_ZIPF_H_

@@ -1,0 +1,81 @@
+// Uniform g x g grid over a rectangular domain. Cells are indexed row-major
+// from the south-west corner: cell = row * g + col, row growing with y.
+// This is the paper's discretization device: user locations snap to cell
+// centers ("logical locations"), and the OPT mechanism operates on the cell
+// set.
+
+#ifndef GEOPRIV_SPATIAL_GRID_H_
+#define GEOPRIV_SPATIAL_GRID_H_
+
+#include <vector>
+
+#include "base/check.h"
+#include "geo/point.h"
+
+namespace geopriv::spatial {
+
+class UniformGrid {
+ public:
+  // Requires granularity >= 1 and a box with positive area.
+  UniformGrid(geo::BBox domain, int granularity)
+      : domain_(domain), g_(granularity) {
+    GEOPRIV_CHECK_MSG(granularity >= 1, "granularity must be >= 1");
+    GEOPRIV_CHECK_MSG(domain.Width() > 0 && domain.Height() > 0,
+                      "grid domain must have positive area");
+    cell_w_ = domain.Width() / g_;
+    cell_h_ = domain.Height() / g_;
+  }
+
+  int granularity() const { return g_; }
+  int num_cells() const { return g_ * g_; }
+  const geo::BBox& domain() const { return domain_; }
+  double cell_width() const { return cell_w_; }
+  double cell_height() const { return cell_h_; }
+
+  int row_of(int cell) const { return cell / g_; }
+  int col_of(int cell) const { return cell % g_; }
+  int cell_at(int row, int col) const { return row * g_ + col; }
+
+  // Cell containing `p`; points outside the domain are clamped to the
+  // nearest boundary cell.
+  int CellOf(geo::Point p) const {
+    int col = static_cast<int>((p.x - domain_.min_x) / cell_w_);
+    int row = static_cast<int>((p.y - domain_.min_y) / cell_h_);
+    col = col < 0 ? 0 : (col >= g_ ? g_ - 1 : col);
+    row = row < 0 ? 0 : (row >= g_ ? g_ - 1 : row);
+    return cell_at(row, col);
+  }
+
+  // True if `p` lies inside the domain (boundary included).
+  bool Contains(geo::Point p) const { return domain_.Contains(p); }
+
+  geo::Point CenterOf(int cell) const {
+    return {domain_.min_x + (col_of(cell) + 0.5) * cell_w_,
+            domain_.min_y + (row_of(cell) + 0.5) * cell_h_};
+  }
+
+  geo::BBox CellBounds(int cell) const {
+    const int r = row_of(cell);
+    const int c = col_of(cell);
+    return {domain_.min_x + c * cell_w_, domain_.min_y + r * cell_h_,
+            domain_.min_x + (c + 1) * cell_w_,
+            domain_.min_y + (r + 1) * cell_h_};
+  }
+
+  // Centers of all cells, in cell order.
+  std::vector<geo::Point> AllCenters() const {
+    std::vector<geo::Point> centers(num_cells());
+    for (int i = 0; i < num_cells(); ++i) centers[i] = CenterOf(i);
+    return centers;
+  }
+
+ private:
+  geo::BBox domain_;
+  int g_;
+  double cell_w_;
+  double cell_h_;
+};
+
+}  // namespace geopriv::spatial
+
+#endif  // GEOPRIV_SPATIAL_GRID_H_

@@ -1,0 +1,116 @@
+#include "spatial/hierarchical_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace geopriv::spatial {
+
+StatusOr<HierarchicalGrid> HierarchicalGrid::Create(geo::BBox domain,
+                                                    int granularity,
+                                                    int height) {
+  if (granularity < 2) {
+    return Status::InvalidArgument("granularity must be >= 2");
+  }
+  if (height < 1 || height > 20) {
+    return Status::InvalidArgument("height must be in [1, 20]");
+  }
+  if (!(domain.Width() > 0.0) || !(domain.Height() > 0.0)) {
+    return Status::InvalidArgument("domain must have positive area");
+  }
+  // Guard against NodeIndex overflow: total cells across levels must fit.
+  const double total = std::pow(static_cast<double>(granularity),
+                                2.0 * height);
+  if (total > 9e15) {
+    return Status::InvalidArgument("index too deep for 64-bit node ids");
+  }
+  return HierarchicalGrid(domain, granularity, height);
+}
+
+HierarchicalGrid::HierarchicalGrid(geo::BBox domain, int granularity,
+                                   int height)
+    : domain_(domain), g_(granularity), height_(height) {
+  side_.resize(height_ + 1);
+  offset_.resize(height_ + 2);
+  side_[0] = 1;
+  offset_[0] = 0;
+  for (int level = 1; level <= height_; ++level) {
+    side_[level] = side_[level - 1] * g_;
+  }
+  for (int level = 0; level <= height_; ++level) {
+    offset_[level + 1] = offset_[level] + side_[level] * side_[level];
+  }
+}
+
+int HierarchicalGrid::LevelOf(NodeIndex node) const {
+  GEOPRIV_CHECK_MSG(node >= 0 && node < offset_[height_ + 1],
+                    "node out of range");
+  int level = 0;
+  while (node >= offset_[level + 1]) ++level;
+  return level;
+}
+
+geo::BBox HierarchicalGrid::Bounds(NodeIndex node) const {
+  const int level = LevelOf(node);
+  const int64_t idx = node - offset_[level];
+  const int64_t side = side_[level];
+  const int64_t row = idx / side;
+  const int64_t col = idx % side;
+  const double w = domain_.Width() / static_cast<double>(side);
+  const double h = domain_.Height() / static_cast<double>(side);
+  return {domain_.min_x + col * w, domain_.min_y + row * h,
+          domain_.min_x + (col + 1) * w, domain_.min_y + (row + 1) * h};
+}
+
+bool HierarchicalGrid::IsLeaf(NodeIndex node) const {
+  return LevelOf(node) == height_;
+}
+
+std::vector<ChildInfo> HierarchicalGrid::Children(NodeIndex node) const {
+  const int level = LevelOf(node);
+  GEOPRIV_CHECK_MSG(level < height_, "leaf node has no children");
+  const int64_t idx = node - offset_[level];
+  const int64_t side = side_[level];
+  const int64_t row = idx / side;
+  const int64_t col = idx % side;
+  const int64_t child_side = side_[level + 1];
+  std::vector<ChildInfo> children;
+  children.reserve(static_cast<size_t>(g_) * g_);
+  const double w = domain_.Width() / static_cast<double>(child_side);
+  const double h = domain_.Height() / static_cast<double>(child_side);
+  for (int dr = 0; dr < g_; ++dr) {
+    for (int dc = 0; dc < g_; ++dc) {
+      const int64_t crow = row * g_ + dr;
+      const int64_t ccol = col * g_ + dc;
+      const NodeIndex id = offset_[level + 1] + crow * child_side + ccol;
+      children.push_back(
+          {id,
+           {domain_.min_x + ccol * w, domain_.min_y + crow * h,
+            domain_.min_x + (ccol + 1) * w, domain_.min_y + (crow + 1) * h}});
+    }
+  }
+  return children;
+}
+
+double HierarchicalGrid::TypicalCellSide(int level) const {
+  GEOPRIV_CHECK_MSG(level >= 1 && level <= height_, "level out of range");
+  // Domains are square in the paper's setup; for rectangular domains use
+  // the geometric mean of the two extents.
+  const double side = static_cast<double>(side_[level]);
+  return std::sqrt((domain_.Width() / side) * (domain_.Height() / side));
+}
+
+NodeIndex HierarchicalGrid::NodeAt(int level, geo::Point p) const {
+  GEOPRIV_CHECK_MSG(level >= 0 && level <= height_, "level out of range");
+  const int64_t side = side_[level];
+  const double w = domain_.Width() / static_cast<double>(side);
+  const double h = domain_.Height() / static_cast<double>(side);
+  int64_t col = static_cast<int64_t>((p.x - domain_.min_x) / w);
+  int64_t row = static_cast<int64_t>((p.y - domain_.min_y) / h);
+  col = std::clamp<int64_t>(col, 0, side - 1);
+  row = std::clamp<int64_t>(row, 0, side - 1);
+  return offset_[level] + row * side + col;
+}
+
+}  // namespace geopriv::spatial

@@ -1,0 +1,53 @@
+// Abstract hierarchical space partition, the index the multi-step mechanism
+// walks (paper Section 4, footnote 4: "the MSM concept applies to any
+// hierarchical data structure without node overlap, e.g., R+-trees or
+// k-d-trees"). Children of a node partition its bounds without overlap.
+//
+// Implementations: HierarchicalGrid (the paper's GIHI), KdPartition
+// (data-adaptive, equal-mass children) and AdaptiveQuadTree (depth varies
+// with data density) — the paper's future-work structures.
+
+#ifndef GEOPRIV_SPATIAL_HIERARCHICAL_PARTITION_H_
+#define GEOPRIV_SPATIAL_HIERARCHICAL_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace geopriv::spatial {
+
+// Stable node identifier, unique across the whole tree (0 = root).
+using NodeIndex = int64_t;
+
+struct ChildInfo {
+  NodeIndex id;
+  geo::BBox bounds;
+};
+
+class HierarchicalPartition {
+ public:
+  virtual ~HierarchicalPartition() = default;
+
+  static constexpr NodeIndex kRoot = 0;
+
+  // Number of levels below the root on the deepest path.
+  virtual int height() const = 0;
+
+  virtual geo::BBox Bounds(NodeIndex node) const = 0;
+
+  // True when `node` has no children.
+  virtual bool IsLeaf(NodeIndex node) const = 0;
+
+  // Children of an internal node, in a stable order. Their bounds tile
+  // Bounds(node).
+  virtual std::vector<ChildInfo> Children(NodeIndex node) const = 0;
+
+  // Representative side length (km) of a cell at depth `level` (1-based:
+  // level 1 = children of the root). Drives the budget-allocation model.
+  virtual double TypicalCellSide(int level) const = 0;
+};
+
+}  // namespace geopriv::spatial
+
+#endif  // GEOPRIV_SPATIAL_HIERARCHICAL_PARTITION_H_

@@ -1,0 +1,162 @@
+#include "spatial/kd_partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace geopriv::spatial {
+
+namespace {
+
+// Interior boundaries (count g-1) splitting [lo, hi] so that the given
+// sorted coordinates are distributed evenly; falls back to uniform spacing
+// when the quantiles are degenerate.
+std::vector<double> SplitBoundaries(double lo, double hi,
+                                    const std::vector<double>& sorted,
+                                    int g) {
+  std::vector<double> bounds(g + 1);
+  bounds[0] = lo;
+  bounds[g] = hi;
+  const size_t n = sorted.size();
+  bool ok = n >= static_cast<size_t>(4 * g);
+  if (ok) {
+    for (int i = 1; i < g; ++i) {
+      const size_t idx = (n * i) / g;
+      bounds[i] = sorted[idx];
+    }
+    for (int i = 1; i <= g; ++i) {
+      if (bounds[i] <= bounds[i - 1] + 1e-9 * (hi - lo)) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (!ok) {
+    for (int i = 1; i < g; ++i) {
+      bounds[i] = lo + (hi - lo) * i / g;
+    }
+  }
+  return bounds;
+}
+
+}  // namespace
+
+StatusOr<KdPartition> KdPartition::Create(
+    geo::BBox domain, const std::vector<geo::Point>& points, int granularity,
+    int height) {
+  if (granularity < 2) {
+    return Status::InvalidArgument("granularity must be >= 2");
+  }
+  if (height < 1 || height > 12) {
+    return Status::InvalidArgument("height must be in [1, 12]");
+  }
+  if (!(domain.Width() > 0.0) || !(domain.Height() > 0.0)) {
+    return Status::InvalidArgument("domain must have positive area");
+  }
+  const double total =
+      std::pow(static_cast<double>(granularity), 2.0 * height);
+  if (total > 2e7) {
+    return Status::InvalidArgument(
+        "granularity^(2*height) too large for an explicit tree");
+  }
+  KdPartition tree(granularity, height);
+  tree.level_side_sum_.assign(height + 1, 0.0);
+  tree.level_count_.assign(height + 1, 0);
+  tree.nodes_.push_back({domain, -1, 0});
+  std::vector<geo::Point> inside;
+  inside.reserve(points.size());
+  for (const geo::Point& p : points) {
+    if (domain.Contains(p)) inside.push_back(p);
+  }
+  tree.Build(0, std::move(inside));
+  return tree;
+}
+
+void KdPartition::Build(int node, std::vector<geo::Point> points) {
+  const geo::BBox bounds = nodes_[node].bounds;
+  const int level = nodes_[node].level;
+  if (level >= height_) return;
+
+  // x-boundaries over all points in the node.
+  std::vector<double> xs(points.size());
+  for (size_t i = 0; i < points.size(); ++i) xs[i] = points[i].x;
+  std::sort(xs.begin(), xs.end());
+  const std::vector<double> xb =
+      SplitBoundaries(bounds.min_x, bounds.max_x, xs, g_);
+
+  // Partition points into x-slabs.
+  std::vector<std::vector<geo::Point>> slabs(g_);
+  for (const geo::Point& p : points) {
+    int s = static_cast<int>(
+        std::upper_bound(xb.begin() + 1, xb.end() - 1, p.x) -
+        (xb.begin() + 1));
+    slabs[s].push_back(p);
+  }
+  points.clear();
+  points.shrink_to_fit();
+
+  const int first_child = static_cast<int>(nodes_.size());
+  nodes_[node].first_child = first_child;
+  // Reserve all g^2 children up front so they are contiguous.
+  for (int i = 0; i < g_ * g_; ++i) {
+    nodes_.push_back({{}, -1, level + 1});
+  }
+  std::vector<std::vector<geo::Point>> child_points(
+      static_cast<size_t>(g_) * g_);
+  for (int s = 0; s < g_; ++s) {
+    std::vector<double> ys(slabs[s].size());
+    for (size_t i = 0; i < slabs[s].size(); ++i) ys[i] = slabs[s][i].y;
+    std::sort(ys.begin(), ys.end());
+    const std::vector<double> yb =
+        SplitBoundaries(bounds.min_y, bounds.max_y, ys, g_);
+    for (int t = 0; t < g_; ++t) {
+      const int child = first_child + t * g_ + s;  // row-major (t = row)
+      nodes_[child].bounds = {xb[s], yb[t], xb[s + 1], yb[t + 1]};
+      level_side_sum_[level + 1] +=
+          std::sqrt(nodes_[child].bounds.Area());
+      ++level_count_[level + 1];
+    }
+    for (const geo::Point& p : slabs[s]) {
+      int t = static_cast<int>(
+          std::upper_bound(yb.begin() + 1, yb.end() - 1, p.y) -
+          (yb.begin() + 1));
+      child_points[static_cast<size_t>(t) * g_ + s].push_back(p);
+    }
+    slabs[s].clear();
+    slabs[s].shrink_to_fit();
+  }
+  for (int i = 0; i < g_ * g_; ++i) {
+    Build(first_child + i, std::move(child_points[i]));
+  }
+}
+
+geo::BBox KdPartition::Bounds(NodeIndex node) const {
+  GEOPRIV_CHECK_MSG(node >= 0 &&
+                        node < static_cast<NodeIndex>(nodes_.size()),
+                    "node out of range");
+  return nodes_[node].bounds;
+}
+
+bool KdPartition::IsLeaf(NodeIndex node) const {
+  return nodes_[node].first_child < 0;
+}
+
+std::vector<ChildInfo> KdPartition::Children(NodeIndex node) const {
+  GEOPRIV_CHECK_MSG(!IsLeaf(node), "leaf node has no children");
+  const int first = nodes_[node].first_child;
+  std::vector<ChildInfo> children;
+  children.reserve(static_cast<size_t>(g_) * g_);
+  for (int i = 0; i < g_ * g_; ++i) {
+    children.push_back({first + i, nodes_[first + i].bounds});
+  }
+  return children;
+}
+
+double KdPartition::TypicalCellSide(int level) const {
+  GEOPRIV_CHECK_MSG(level >= 1 && level <= height_, "level out of range");
+  if (level_count_[level] == 0) return 0.0;
+  return level_side_sum_[level] / level_count_[level];
+}
+
+}  // namespace geopriv::spatial

@@ -1,0 +1,53 @@
+// Data-adaptive hierarchical partition in the spirit of a k-d tree: every
+// internal node splits into g x g rectangular children whose boundaries
+// follow the empirical quantiles of the data (x first, then y within each
+// slab), so children carry roughly equal numbers of points. One of the
+// paper's future-work index structures (Section 8) for skewed priors.
+
+#ifndef GEOPRIV_SPATIAL_KD_PARTITION_H_
+#define GEOPRIV_SPATIAL_KD_PARTITION_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "spatial/hierarchical_partition.h"
+
+namespace geopriv::spatial {
+
+class KdPartition final : public HierarchicalPartition {
+ public:
+  // Builds a height-`height` tree over `domain`, adapting split boundaries
+  // to `points`. Nodes with too few points fall back to uniform splits.
+  // Requires granularity >= 2, height in [1, 12].
+  static StatusOr<KdPartition> Create(geo::BBox domain,
+                                      const std::vector<geo::Point>& points,
+                                      int granularity, int height);
+
+  int height() const override { return height_; }
+  geo::BBox Bounds(NodeIndex node) const override;
+  bool IsLeaf(NodeIndex node) const override;
+  std::vector<ChildInfo> Children(NodeIndex node) const override;
+  double TypicalCellSide(int level) const override;
+
+ private:
+  struct Node {
+    geo::BBox bounds;
+    int first_child = -1;  // children are contiguous; -1 for leaves
+    int level = 0;
+  };
+
+  KdPartition(int granularity, int height)
+      : g_(granularity), height_(height) {}
+
+  void Build(int node, std::vector<geo::Point> points);
+
+  int g_;
+  int height_;
+  std::vector<Node> nodes_;
+  std::vector<double> level_side_sum_;
+  std::vector<int> level_count_;
+};
+
+}  // namespace geopriv::spatial
+
+#endif  // GEOPRIV_SPATIAL_KD_PARTITION_H_

@@ -1,0 +1,102 @@
+#include "spatial/quadtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace geopriv::spatial {
+
+StatusOr<AdaptiveQuadTree> AdaptiveQuadTree::Create(
+    geo::BBox domain, const std::vector<geo::Point>& points, int max_height,
+    int split_threshold) {
+  if (max_height < 1 || max_height > 16) {
+    return Status::InvalidArgument("max_height must be in [1, 16]");
+  }
+  if (split_threshold < 1) {
+    return Status::InvalidArgument("split_threshold must be >= 1");
+  }
+  if (!(domain.Width() > 0.0) || !(domain.Height() > 0.0)) {
+    return Status::InvalidArgument("domain must have positive area");
+  }
+  AdaptiveQuadTree tree;
+  tree.level_side_sum_.assign(max_height + 1, 0.0);
+  tree.level_count_.assign(max_height + 1, 0);
+  std::vector<geo::Point> inside;
+  inside.reserve(points.size());
+  for (const geo::Point& p : points) {
+    if (domain.Contains(p)) inside.push_back(p);
+  }
+  tree.nodes_.push_back(
+      {domain, -1, 0, static_cast<int>(inside.size())});
+  tree.Build(0, std::move(inside), max_height, split_threshold);
+  return tree;
+}
+
+void AdaptiveQuadTree::Build(int node, std::vector<geo::Point> points,
+                             int max_height, int split_threshold) {
+  const geo::BBox bounds = nodes_[node].bounds;
+  const int level = nodes_[node].level;
+  realized_height_ = std::max(realized_height_, level);
+  if (level >= max_height ||
+      static_cast<int>(points.size()) <= split_threshold) {
+    return;
+  }
+  const geo::Point c = bounds.Center();
+  const int first_child = static_cast<int>(nodes_.size());
+  nodes_[node].first_child = first_child;
+  const geo::BBox quadrants[4] = {
+      {bounds.min_x, bounds.min_y, c.x, c.y},  // SW
+      {c.x, bounds.min_y, bounds.max_x, c.y},  // SE
+      {bounds.min_x, c.y, c.x, bounds.max_y},  // NW
+      {c.x, c.y, bounds.max_x, bounds.max_y},  // NE
+  };
+  std::vector<std::vector<geo::Point>> parts(4);
+  for (const geo::Point& p : points) {
+    const int q = (p.x >= c.x ? 1 : 0) + (p.y >= c.y ? 2 : 0);
+    parts[q].push_back(p);
+  }
+  points.clear();
+  points.shrink_to_fit();
+  for (int q = 0; q < 4; ++q) {
+    nodes_.push_back({quadrants[q], -1, level + 1,
+                      static_cast<int>(parts[q].size())});
+    level_side_sum_[level + 1] += std::sqrt(quadrants[q].Area());
+    ++level_count_[level + 1];
+  }
+  for (int q = 0; q < 4; ++q) {
+    Build(first_child + q, std::move(parts[q]), max_height, split_threshold);
+  }
+}
+
+geo::BBox AdaptiveQuadTree::Bounds(NodeIndex node) const {
+  GEOPRIV_CHECK_MSG(node >= 0 &&
+                        node < static_cast<NodeIndex>(nodes_.size()),
+                    "node out of range");
+  return nodes_[node].bounds;
+}
+
+bool AdaptiveQuadTree::IsLeaf(NodeIndex node) const {
+  return nodes_[node].first_child < 0;
+}
+
+std::vector<ChildInfo> AdaptiveQuadTree::Children(NodeIndex node) const {
+  GEOPRIV_CHECK_MSG(!IsLeaf(node), "leaf node has no children");
+  const int first = nodes_[node].first_child;
+  std::vector<ChildInfo> children;
+  children.reserve(4);
+  for (int q = 0; q < 4; ++q) {
+    children.push_back({first + q, nodes_[first + q].bounds});
+  }
+  return children;
+}
+
+double AdaptiveQuadTree::TypicalCellSide(int level) const {
+  GEOPRIV_CHECK_MSG(level >= 1 &&
+                        level < static_cast<int>(level_count_.size()),
+                    "level out of range");
+  if (level_count_[level] == 0) return 0.0;
+  return level_side_sum_[level] / level_count_[level];
+}
+
+}  // namespace geopriv::spatial

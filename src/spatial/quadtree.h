@@ -1,0 +1,55 @@
+// Density-adaptive quadtree partition: a node splits into its four
+// quadrants while it holds more than `split_threshold` points and is above
+// the depth cap. Dense areas get deep, fine cells; sparse areas terminate
+// early — the second future-work index of paper Section 8.
+
+#ifndef GEOPRIV_SPATIAL_QUADTREE_H_
+#define GEOPRIV_SPATIAL_QUADTREE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "spatial/hierarchical_partition.h"
+
+namespace geopriv::spatial {
+
+class AdaptiveQuadTree final : public HierarchicalPartition {
+ public:
+  // Requires max_height in [1, 16] and split_threshold >= 1.
+  static StatusOr<AdaptiveQuadTree> Create(
+      geo::BBox domain, const std::vector<geo::Point>& points, int max_height,
+      int split_threshold);
+
+  int height() const override { return realized_height_; }
+  geo::BBox Bounds(NodeIndex node) const override;
+  bool IsLeaf(NodeIndex node) const override;
+  std::vector<ChildInfo> Children(NodeIndex node) const override;
+  double TypicalCellSide(int level) const override;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  // Points that fell into this node's subtree at build time.
+  int PointCount(NodeIndex node) const { return nodes_[node].count; }
+
+ private:
+  struct Node {
+    geo::BBox bounds;
+    int first_child = -1;
+    int level = 0;
+    int count = 0;
+  };
+
+  AdaptiveQuadTree() = default;
+
+  void Build(int node, std::vector<geo::Point> points, int max_height,
+             int split_threshold);
+
+  std::vector<Node> nodes_;
+  int realized_height_ = 0;
+  std::vector<double> level_side_sum_;
+  std::vector<int> level_count_;
+};
+
+}  // namespace geopriv::spatial
+
+#endif  // GEOPRIV_SPATIAL_QUADTREE_H_

@@ -1,0 +1,139 @@
+#include "spatial/str_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "base/check.h"
+#include "geo/distance.h"
+
+namespace geopriv::spatial {
+
+StatusOr<StrRTree> StrRTree::Build(std::vector<geo::Point> points,
+                                   int leaf_capacity) {
+  if (points.empty()) {
+    return Status::InvalidArgument("R-tree needs at least one point");
+  }
+  if (leaf_capacity < 2) {
+    return Status::InvalidArgument("leaf_capacity must be >= 2");
+  }
+  StrRTree tree;
+  const int n = static_cast<int>(points.size());
+  tree.ids_.resize(n);
+  for (int i = 0; i < n; ++i) tree.ids_[i] = i;
+
+  // STR leaf packing: sort by x, cut into vertical slices of
+  // ceil(sqrt(n / capacity)) groups, sort each slice by y, pack runs of
+  // `leaf_capacity` points into leaves.
+  std::sort(tree.ids_.begin(), tree.ids_.end(), [&points](int a, int b) {
+    return points[a].x < points[b].x;
+  });
+  const int num_leaves = (n + leaf_capacity - 1) / leaf_capacity;
+  const int slices =
+      std::max(1, static_cast<int>(std::ceil(std::sqrt(num_leaves))));
+  const int slice_size = (n + slices - 1) / slices;
+  for (int s = 0; s < slices; ++s) {
+    const int lo = s * slice_size;
+    const int hi = std::min(n, lo + slice_size);
+    if (lo >= hi) break;
+    std::sort(tree.ids_.begin() + lo, tree.ids_.begin() + hi,
+              [&points](int a, int b) { return points[a].y < points[b].y; });
+  }
+  tree.points_.resize(n);
+  tree.slot_of_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    tree.points_[i] = points[tree.ids_[i]];
+    tree.slot_of_[tree.ids_[i]] = i;
+  }
+
+  // Build leaf nodes.
+  std::vector<int> level;  // node indices of the level being built
+  for (int lo = 0; lo < n; lo += leaf_capacity) {
+    const int hi = std::min(n, lo + leaf_capacity);
+    geo::BBox box{tree.points_[lo].x, tree.points_[lo].y, tree.points_[lo].x,
+                  tree.points_[lo].y};
+    for (int i = lo + 1; i < hi; ++i) {
+      box = box.Union({tree.points_[i].x, tree.points_[i].y,
+                       tree.points_[i].x, tree.points_[i].y});
+    }
+    tree.nodes_.push_back({box, lo, hi, true});
+    level.push_back(static_cast<int>(tree.nodes_.size()) - 1);
+  }
+
+  // Pack upper levels (children of one parent are contiguous by
+  // construction).
+  const int fanout = leaf_capacity;
+  while (level.size() > 1) {
+    std::vector<int> next;
+    for (size_t lo = 0; lo < level.size(); lo += fanout) {
+      const size_t hi = std::min(level.size(), lo + fanout);
+      geo::BBox box = tree.nodes_[level[lo]].bounds;
+      for (size_t i = lo + 1; i < hi; ++i) {
+        box = box.Union(tree.nodes_[level[i]].bounds);
+      }
+      tree.nodes_.push_back(
+          {box, level[lo], level[hi - 1] + 1, false});
+      next.push_back(static_cast<int>(tree.nodes_.size()) - 1);
+    }
+    level = std::move(next);
+  }
+  tree.root_ = level[0];
+  return tree;
+}
+
+std::vector<int> StrRTree::KNearest(geo::Point query, int k) const {
+  GEOPRIV_CHECK_MSG(k >= 1, "k must be >= 1");
+  // Best-first search over nodes and points with a min-heap on distance.
+  struct Entry {
+    double dist2;
+    int index;    // node index, or point slot when is_point
+    bool is_point;
+    bool operator>(const Entry& o) const { return dist2 > o.dist2; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  heap.push({nodes_[root_].bounds.SquaredDistanceTo(query), root_, false});
+  std::vector<int> result;
+  while (!heap.empty() && static_cast<int>(result.size()) < k) {
+    const Entry e = heap.top();
+    heap.pop();
+    if (e.is_point) {
+      result.push_back(ids_[e.index]);
+      continue;
+    }
+    const Node& node = nodes_[e.index];
+    if (node.leaf) {
+      for (int i = node.first; i < node.last; ++i) {
+        heap.push({geo::SquaredEuclidean(points_[i], query), i, true});
+      }
+    } else {
+      for (int c = node.first; c < node.last; ++c) {
+        heap.push({nodes_[c].bounds.SquaredDistanceTo(query), c, false});
+      }
+    }
+  }
+  return result;
+}
+
+int StrRTree::Nearest(geo::Point query) const {
+  return KNearest(query, 1)[0];
+}
+
+std::vector<int> StrRTree::InRange(const geo::BBox& box) const {
+  std::vector<int> result;
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.bounds.Intersects(box)) continue;
+    if (node.leaf) {
+      for (int i = node.first; i < node.last; ++i) {
+        if (box.Contains(points_[i])) result.push_back(ids_[i]);
+      }
+    } else {
+      for (int c = node.first; c < node.last; ++c) stack.push_back(c);
+    }
+  }
+  return result;
+}
+
+}  // namespace geopriv::spatial

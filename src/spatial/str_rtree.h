@@ -1,0 +1,62 @@
+// Static R-tree over points, bulk-loaded with Sort-Tile-Recursive (STR)
+// packing. Supports k-nearest-neighbour (best-first) and range queries.
+// Used by the evaluation harness and the examples to answer "nearest POI"
+// queries against reported (obfuscated) locations.
+
+#ifndef GEOPRIV_SPATIAL_STR_RTREE_H_
+#define GEOPRIV_SPATIAL_STR_RTREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "base/status.h"
+#include "geo/point.h"
+
+namespace geopriv::spatial {
+
+class StrRTree {
+ public:
+  // Bulk-loads the tree; indices returned by queries refer to positions in
+  // `points`. Requires at least one point and leaf_capacity >= 2.
+  static StatusOr<StrRTree> Build(std::vector<geo::Point> points,
+                                  int leaf_capacity = 16);
+
+  // Indices of the k points nearest to `query` (ascending distance).
+  // Returns fewer than k if the tree holds fewer points.
+  std::vector<int> KNearest(geo::Point query, int k) const;
+
+  // Index of the single nearest point.
+  int Nearest(geo::Point query) const;
+
+  // Indices of all points inside `box` (inclusive), in arbitrary order.
+  std::vector<int> InRange(const geo::BBox& box) const;
+
+  size_t size() const { return points_.size(); }
+
+  // Point by its ORIGINAL index (the index space queries return).
+  const geo::Point& point(int original_index) const {
+    return points_[slot_of_[original_index]];
+  }
+
+ private:
+  struct Node {
+    geo::BBox bounds;
+    // Leaves store [first_point, last_point); internal nodes store
+    // [first_child, last_child) into nodes_.
+    int first = 0;
+    int last = 0;
+    bool leaf = true;
+  };
+
+  StrRTree() = default;
+
+  std::vector<geo::Point> points_;  // reordered during packing
+  std::vector<int> ids_;            // original index of each stored slot
+  std::vector<int> slot_of_;        // inverse of ids_: original -> slot
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace geopriv::spatial
+
+#endif  // GEOPRIV_SPATIAL_STR_RTREE_H_

@@ -1,0 +1,152 @@
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bundle.h"
+#include "data/synthetic.h"
+#include "rng/rng.h"
+
+namespace geopriv::core {
+namespace {
+
+using geo::BBox;
+using geo::Point;
+
+constexpr BBox kDomain{0.0, 0.0, 20.0, 20.0};
+
+std::vector<Point> SomeCheckins() {
+  rng::Rng rng(77);
+  std::vector<Point> pts;
+  for (int i = 0; i < 3000; ++i) {
+    pts.push_back({std::clamp(rng.Gaussian(6.0, 1.5), 0.0, 20.0),
+                   std::clamp(rng.Gaussian(7.0, 1.5), 0.0, 20.0)});
+  }
+  return pts;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(BundleTest, BuildValidatesInputs) {
+  EXPECT_FALSE(
+      BuildClientBundle(kDomain, SomeCheckins(), 0.0, 4, 0.8).ok());
+  EXPECT_FALSE(
+      BuildClientBundle(kDomain, SomeCheckins(), 0.5, 1, 0.8).ok());
+  EXPECT_FALSE(
+      BuildClientBundle(kDomain, SomeCheckins(), 0.5, 4, 1.5).ok());
+  EXPECT_FALSE(BuildClientBundle(kDomain, {}, 0.5, 4, 0.8).ok());
+}
+
+TEST(BundleTest, BuildProducesValidBundle) {
+  auto bundle = BuildClientBundle(kDomain, SomeCheckins(), 0.5, 4, 0.8, 64);
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_TRUE(bundle->Validate().ok());
+  EXPECT_EQ(bundle->granularity, 4);
+  EXPECT_EQ(bundle->prior_granularity, 64);
+  EXPECT_NEAR(bundle->budget.total(), 0.5, 1e-9);
+  double mass = 0.0;
+  for (double m : bundle->prior_mass) mass += m;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(BundleTest, SaveLoadRoundTrip) {
+  auto bundle = BuildClientBundle(kDomain, SomeCheckins(), 0.5, 3, 0.7, 32);
+  ASSERT_TRUE(bundle.ok());
+  const std::string path = TempPath("bundle_roundtrip.gpb");
+  ASSERT_TRUE(SaveClientBundle(*bundle, path).ok());
+  auto loaded = LoadClientBundle(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->granularity, bundle->granularity);
+  EXPECT_EQ(loaded->prior_granularity, bundle->prior_granularity);
+  EXPECT_DOUBLE_EQ(loaded->eps, bundle->eps);
+  EXPECT_DOUBLE_EQ(loaded->rho, bundle->rho);
+  EXPECT_EQ(loaded->budget.per_level, bundle->budget.per_level);
+  EXPECT_EQ(loaded->prior_mass, bundle->prior_mass);
+  EXPECT_EQ(loaded->domain, bundle->domain);
+  std::remove(path.c_str());
+}
+
+TEST(BundleTest, LoadRejectsMissingFile) {
+  auto loaded = LoadClientBundle("/nonexistent/bundle.gpb");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(BundleTest, LoadRejectsWrongMagic) {
+  const std::string path = TempPath("bundle_magic.gpb");
+  std::ofstream(path) << "definitely not a bundle";
+  auto loaded = LoadClientBundle(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(BundleTest, LoadRejectsTruncation) {
+  auto bundle = BuildClientBundle(kDomain, SomeCheckins(), 0.5, 3, 0.7, 16);
+  ASSERT_TRUE(bundle.ok());
+  const std::string path = TempPath("bundle_trunc.gpb");
+  ASSERT_TRUE(SaveClientBundle(*bundle, path).ok());
+  // Truncate the file to half its size.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      << contents.substr(0, contents.size() / 2);
+  EXPECT_FALSE(LoadClientBundle(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(BundleTest, LoadRejectsBitFlip) {
+  auto bundle = BuildClientBundle(kDomain, SomeCheckins(), 0.5, 3, 0.7, 16);
+  ASSERT_TRUE(bundle.ok());
+  const std::string path = TempPath("bundle_bitflip.gpb");
+  ASSERT_TRUE(SaveClientBundle(*bundle, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  contents[contents.size() / 2] ^= 0x40;  // flip a bit mid-payload
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << contents;
+  auto loaded = LoadClientBundle(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(BundleTest, MechanismFromBundleMatchesDirectConstruction) {
+  // A mechanism reconstructed client-side from the bundle must behave
+  // identically (same budgets, same reports under the same seed) to one
+  // built directly from the same inputs.
+  const auto checkins = SomeCheckins();
+  auto bundle = BuildClientBundle(kDomain, checkins, 0.5, 2, 0.8, 64);
+  ASSERT_TRUE(bundle.ok());
+  const std::string path = TempPath("bundle_mech.gpb");
+  ASSERT_TRUE(SaveClientBundle(*bundle, path).ok());
+  auto loaded = LoadClientBundle(path);
+  ASSERT_TRUE(loaded.ok());
+  auto from_bundle = MechanismFromBundle(*loaded);
+  ASSERT_TRUE(from_bundle.ok());
+  EXPECT_EQ(from_bundle->budget().per_level, bundle->budget.per_level);
+
+  // Direct construction with the same prior and budgets.
+  auto direct = MechanismFromBundle(*bundle);
+  ASSERT_TRUE(direct.ok());
+  rng::Rng r1(42), r2(42);
+  for (int i = 0; i < 25; ++i) {
+    const Point x{5.0 + 0.3 * i, 8.0};
+    EXPECT_EQ(from_bundle->Report(x, r1), direct->Report(x, r2)) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BundleTest, ValidateCatchesBudgetMismatch) {
+  auto bundle = BuildClientBundle(kDomain, SomeCheckins(), 0.5, 3, 0.7, 16);
+  ASSERT_TRUE(bundle.ok());
+  bundle->eps = 0.7;  // budgets still sum to 0.5
+  EXPECT_FALSE(bundle->Validate().ok());
+}
+
+}  // namespace
+}  // namespace geopriv::core

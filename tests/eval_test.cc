@@ -1,0 +1,169 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluation.h"
+#include "eval/table.h"
+#include "mechanisms/planar_laplace.h"
+#include "spatial/grid.h"
+
+namespace geopriv::eval {
+namespace {
+
+using geo::Point;
+
+// A deterministic mechanism that reports a fixed offset of the input.
+class FixedOffsetMechanism final : public mechanisms::Mechanism {
+ public:
+  explicit FixedOffsetMechanism(Point offset) : offset_(offset) {}
+  Point Report(Point actual, rng::Rng&) override { return actual + offset_; }
+  std::string name() const override { return "offset"; }
+
+ private:
+  Point offset_;
+};
+
+TEST(EvaluationTest, Validation) {
+  FixedOffsetMechanism mech({1.0, 0.0});
+  EvalOptions opts;
+  EXPECT_FALSE(EvaluateMechanism(mech, {}, opts).ok());
+  opts.num_requests = 0;
+  EXPECT_FALSE(EvaluateMechanism(mech, {{1, 1}}, opts).ok());
+}
+
+TEST(EvaluationTest, ExactLossForDeterministicMechanism) {
+  FixedOffsetMechanism mech({3.0, 4.0});  // every report is 5 km off
+  EvalOptions opts;
+  opts.num_requests = 100;
+  auto result = EvaluateMechanism(mech, {{1, 1}, {2, 2}, {7, 3}}, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->mean_loss, 5.0, 1e-12);
+  EXPECT_NEAR(result->p50_loss, 5.0, 1e-12);
+  EXPECT_NEAR(result->p95_loss, 5.0, 1e-12);
+  EXPECT_EQ(result->mechanism, "offset");
+  EXPECT_EQ(result->requests, 100);
+}
+
+TEST(EvaluationTest, SquaredMetric) {
+  FixedOffsetMechanism mech({3.0, 4.0});
+  EvalOptions opts;
+  opts.num_requests = 10;
+  opts.metric = geo::UtilityMetric::kSquaredEuclidean;
+  auto result = EvaluateMechanism(mech, {{1, 1}}, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->mean_loss, 25.0, 1e-12);
+}
+
+TEST(EvaluationTest, DeterministicGivenSeed) {
+  auto pl = mechanisms::PlanarLaplace::Create(0.5);
+  ASSERT_TRUE(pl.ok());
+  EvalOptions opts;
+  opts.num_requests = 500;
+  opts.seed = 99;
+  std::vector<Point> checkins = {{1, 1}, {5, 5}, {10, 3}};
+  auto a = EvaluateMechanism(*pl, checkins, opts);
+  auto pl2 = mechanisms::PlanarLaplace::Create(0.5);
+  auto b = EvaluateMechanism(*pl2, checkins, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->mean_loss, b->mean_loss);
+}
+
+TEST(EvaluationTest, PlanarLaplaceMeanLossNearTwoOverEps) {
+  const double eps = 0.5;
+  auto pl = mechanisms::PlanarLaplace::Create(eps);
+  ASSERT_TRUE(pl.ok());
+  EvalOptions opts;
+  opts.num_requests = 20000;
+  auto result = EvaluateMechanism(*pl, {{10.0, 10.0}}, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->mean_loss, 2.0 / eps, 0.15);
+}
+
+// Alternates between a short and a long offset, so the loss distribution
+// has two distinct atoms and the percentiles are predictable.
+class BimodalMechanism final : public mechanisms::Mechanism {
+ public:
+  Point Report(Point actual, rng::Rng&) override {
+    flip_ = !flip_;
+    return flip_ ? actual + Point{1.0, 0.0} : actual + Point{10.0, 0.0};
+  }
+  std::string name() const override { return "bimodal"; }
+
+ private:
+  bool flip_ = false;
+};
+
+TEST(EvaluationTest, PercentilesSeparateBimodalLosses) {
+  BimodalMechanism mech;
+  EvalOptions opts;
+  opts.num_requests = 1000;
+  auto result = EvaluateMechanism(mech, {{0, 0}}, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->mean_loss, 5.5, 0.1);
+  // The median sits on one atom, the 95th percentile on the other.
+  EXPECT_TRUE(result->p50_loss == 1.0 || result->p50_loss == 10.0);
+  EXPECT_DOUBLE_EQ(result->p95_loss, 10.0);
+}
+
+TEST(SampleRequestsTest, DrawsFromGivenPoints) {
+  rng::Rng rng(7);
+  std::vector<Point> points = {{1, 1}, {2, 2}, {3, 3}};
+  const auto requests = SampleRequests(points, 1000, rng);
+  EXPECT_EQ(requests.size(), 1000u);
+  int counts[3] = {0, 0, 0};
+  for (const Point& r : requests) {
+    bool found = false;
+    for (int i = 0; i < 3; ++i) {
+      if (r == points[i]) {
+        ++counts[i];
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+  for (int c : counts) EXPECT_GT(c, 200);
+}
+
+TEST(TableTest, PrintsAlignedColumns) {
+  Table table({"mechanism", "loss"});
+  table.AddRow({"PL", "3.14"});
+  table.AddRow({"MSM", "2.00"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("mechanism"), std::string::npos);
+  EXPECT_NE(out.find("MSM"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, WritesCsv) {
+  Table table({"a", "b"});
+  table.AddRow({"1", "2"});
+  const std::string path = ::testing::TempDir() + "/geopriv_table_test.csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, CsvToBadPathFails) {
+  Table table({"a"});
+  EXPECT_FALSE(table.WriteCsv("/nonexistent/dir/x.csv").ok());
+}
+
+TEST(FmtTest, FixedPrecision) {
+  EXPECT_EQ(Fmt(3.14159, 3), "3.142");
+  EXPECT_EQ(Fmt(2.0, 1), "2.0");
+  EXPECT_EQ(Fmt(-0.5, 2), "-0.50");
+}
+
+}  // namespace
+}  // namespace geopriv::eval

@@ -1,0 +1,105 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geo/distance.h"
+#include "geo/point.h"
+#include "geo/projection.h"
+
+namespace geopriv::geo {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  Point a{1.0, 2.0};
+  Point b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Point{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Point{-2.0, 3.0}));
+  EXPECT_EQ(2.0 * a, (Point{2.0, 4.0}));
+}
+
+TEST(DistanceTest, EuclideanBasics) {
+  EXPECT_DOUBLE_EQ(Euclidean({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredEuclidean({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Manhattan({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(Euclidean({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(DistanceTest, UtilityMetricDispatch) {
+  Point a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(UtilityLoss(UtilityMetric::kEuclidean, a, b), 5.0);
+  EXPECT_DOUBLE_EQ(UtilityLoss(UtilityMetric::kSquaredEuclidean, a, b), 25.0);
+}
+
+TEST(BBoxTest, ContainsAndCenter) {
+  BBox box{0, 0, 10, 20};
+  EXPECT_TRUE(box.Contains({5, 5}));
+  EXPECT_TRUE(box.Contains({0, 0}));
+  EXPECT_TRUE(box.Contains({10, 20}));
+  EXPECT_FALSE(box.Contains({10.01, 5}));
+  EXPECT_EQ(box.Center(), (Point{5, 10}));
+  EXPECT_DOUBLE_EQ(box.Area(), 200.0);
+}
+
+TEST(BBoxTest, IntersectsAndUnion) {
+  BBox a{0, 0, 5, 5};
+  BBox b{4, 4, 8, 8};
+  BBox c{6, 6, 9, 9};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_EQ(a.Union(c), (BBox{0, 0, 9, 9}));
+}
+
+TEST(BBoxTest, DistanceAndClamp) {
+  BBox box{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(box.SquaredDistanceTo({5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(box.SquaredDistanceTo({13, 14}), 9.0 + 16.0);
+  EXPECT_EQ(box.Clamp({13, 14}), (Point{10, 10}));
+  EXPECT_EQ(box.Clamp({-1, 5}), (Point{0, 5}));
+}
+
+TEST(HaversineTest, KnownDistances) {
+  // Austin city hall to UT Austin tower: roughly 2.9 km.
+  const double d =
+      HaversineKm(30.2653, -97.7470, 30.2862, -97.7394);
+  EXPECT_NEAR(d, 2.43, 0.25);
+  EXPECT_DOUBLE_EQ(HaversineKm(30.0, -97.0, 30.0, -97.0), 0.0);
+}
+
+TEST(ProjectionTest, ForwardInverseRoundTrip) {
+  auto proj = EquirectangularProjection::Create(30.1927, -97.8698);
+  ASSERT_TRUE(proj.ok());
+  double lat, lon;
+  const Point p = proj->Forward(30.30, -97.75);
+  proj->Inverse(p, &lat, &lon);
+  EXPECT_NEAR(lat, 30.30, 1e-10);
+  EXPECT_NEAR(lon, -97.75, 1e-10);
+}
+
+TEST(ProjectionTest, MatchesHaversineAtCityScale) {
+  // The paper's Austin region is 20x20 km; the planar approximation should
+  // agree with the sphere to well under 1%.
+  auto proj = EquirectangularProjection::Create(30.1927, -97.8698);
+  ASSERT_TRUE(proj.ok());
+  const Point a = proj->Forward(30.1927, -97.8698);
+  const Point b = proj->Forward(30.3723, -97.6618);
+  const double planar = Euclidean(a, b);
+  const double sphere = HaversineKm(30.1927, -97.8698, 30.3723, -97.6618);
+  EXPECT_NEAR(planar / sphere, 1.0, 0.01);
+}
+
+TEST(ProjectionTest, PaperRegionIsTwentyKm) {
+  // Sanity-check the paper's claim that the study regions are ~20x20 km.
+  auto proj = EquirectangularProjection::Create(30.1927, -97.8698);
+  ASSERT_TRUE(proj.ok());
+  const Point ne = proj->Forward(30.3723, -97.6618);
+  EXPECT_NEAR(ne.x, 20.0, 0.5);
+  EXPECT_NEAR(ne.y, 20.0, 0.5);
+}
+
+TEST(ProjectionTest, RejectsBadAnchor) {
+  EXPECT_FALSE(EquirectangularProjection::Create(95.0, 0.0).ok());
+  EXPECT_FALSE(EquirectangularProjection::Create(0.0, 200.0).ok());
+}
+
+}  // namespace
+}  // namespace geopriv::geo

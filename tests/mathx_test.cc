@@ -1,0 +1,200 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mathx/lambert_w.h"
+#include "mathx/lattice_sum.h"
+#include "mathx/special_functions.h"
+
+namespace geopriv::mathx {
+namespace {
+
+constexpr double kInvE = 0.36787944117144232;
+
+TEST(LambertWTest, W0SatisfiesDefiningIdentity) {
+  for (double x : {-0.35, -0.2, -0.05, 0.0, 0.1, 0.5, 1.0, 5.0, 100.0,
+                   1e6}) {
+    const double w = LambertW0(x);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-10 * (1.0 + std::abs(x)))
+        << "x=" << x;
+  }
+}
+
+TEST(LambertWTest, Wm1SatisfiesDefiningIdentity) {
+  for (double x : {-kInvE + 1e-10, -0.367, -0.3, -0.2, -0.1, -0.01, -1e-4,
+                   -1e-8}) {
+    const double w = LambertWm1(x);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-10) << "x=" << x;
+    EXPECT_LE(w, -1.0 + 1e-6) << "W_{-1} lies below -1";
+  }
+}
+
+TEST(LambertWTest, BranchPointValue) {
+  EXPECT_NEAR(LambertW0(-kInvE), -1.0, 1e-5);
+  EXPECT_NEAR(LambertWm1(-kInvE), -1.0, 1e-5);
+}
+
+TEST(LambertWTest, KnownValues) {
+  EXPECT_NEAR(LambertW0(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(LambertW0(M_E), 1.0, 1e-12);          // 1*e^1 = e
+  EXPECT_NEAR(LambertW0(2.0 * std::exp(2.0)), 2.0, 1e-12);
+  EXPECT_NEAR(LambertWm1(-2.0 * std::exp(-2.0)), -2.0, 1e-12);
+}
+
+TEST(LambertWTest, OutOfDomainIsNaN) {
+  EXPECT_TRUE(std::isnan(LambertW0(-0.4)));
+  EXPECT_TRUE(std::isnan(LambertWm1(-0.4)));
+  EXPECT_TRUE(std::isnan(LambertWm1(0.1)));
+  EXPECT_TRUE(std::isnan(LambertWm1(0.0)));
+}
+
+TEST(PlanarLaplaceInverseCdfTest, RoundTripsThroughCdf) {
+  for (double eps : {0.1, 0.5, 2.0}) {
+    for (double p : {0.01, 0.3, 0.5, 0.9, 0.999}) {
+      auto r = PlanarLaplaceInverseRadialCdf(eps, p);
+      ASSERT_TRUE(r.ok());
+      const double er = eps * r.value();
+      const double cdf = 1.0 - (1.0 + er) * std::exp(-er);
+      EXPECT_NEAR(cdf, p, 1e-9) << "eps=" << eps << " p=" << p;
+    }
+  }
+}
+
+TEST(PlanarLaplaceInverseCdfTest, ZeroAtZeroProbability) {
+  auto r = PlanarLaplaceInverseRadialCdf(1.0, 0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0.0);
+}
+
+TEST(PlanarLaplaceInverseCdfTest, RejectsBadArguments) {
+  EXPECT_FALSE(PlanarLaplaceInverseRadialCdf(0.0, 0.5).ok());
+  EXPECT_FALSE(PlanarLaplaceInverseRadialCdf(-1.0, 0.5).ok());
+  EXPECT_FALSE(PlanarLaplaceInverseRadialCdf(1.0, 1.0).ok());
+  EXPECT_FALSE(PlanarLaplaceInverseRadialCdf(1.0, -0.1).ok());
+}
+
+TEST(PlanarLaplaceInverseCdfTest, MonotoneInP) {
+  double prev = 0.0;
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    const double r = PlanarLaplaceInverseRadialCdf(0.5, p).value();
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(SpecialFunctionsTest, ZetaKnownValues) {
+  EXPECT_NEAR(RiemannZeta(2.0), M_PI * M_PI / 6.0, 1e-12);
+  EXPECT_NEAR(RiemannZeta(4.0), std::pow(M_PI, 4) / 90.0, 1e-12);
+  EXPECT_NEAR(RiemannZeta(3.0), 1.2020569031595943, 1e-12);
+  EXPECT_NEAR(RiemannZeta(1.5), 2.6123753486854883, 1e-11);
+}
+
+TEST(SpecialFunctionsTest, ZetaMatchesDirectSumForLargeS) {
+  for (double s : {5.0, 6.5, 8.0, 12.0}) {
+    double direct = 0.0;
+    for (int n = 1; n <= 200000; ++n) direct += std::pow(n, -s);
+    EXPECT_NEAR(RiemannZeta(s), direct, 1e-10) << "s=" << s;
+  }
+}
+
+TEST(SpecialFunctionsTest, ZetaOutOfDomain) {
+  EXPECT_TRUE(std::isnan(RiemannZeta(1.0)));
+  EXPECT_TRUE(std::isnan(RiemannZeta(0.5)));
+}
+
+TEST(SpecialFunctionsTest, DirichletBetaKnownValues) {
+  EXPECT_NEAR(DirichletBeta(1.0), M_PI / 4.0, 1e-13);
+  EXPECT_NEAR(DirichletBeta(2.0), 0.9159655941772190, 1e-12);  // Catalan
+  EXPECT_NEAR(DirichletBeta(3.0), std::pow(M_PI, 3) / 32.0, 1e-12);
+}
+
+TEST(SpecialFunctionsTest, DirichletBetaMatchesPairedDirectSum) {
+  // Summing consecutive +/- pairs gives a monotone series; the truncation
+  // error is on the order of the first neglected term, so the comparison
+  // tolerance scales with it.
+  for (double s : {0.5, 1.5, 2.5, 3.5}) {
+    double direct = 0.0;
+    const int terms = 4000000;
+    for (int n = 0; n < terms; n += 2) {
+      direct += std::pow(2.0 * n + 1.0, -s) - std::pow(2.0 * n + 3.0, -s);
+    }
+    const double tail = std::pow(2.0 * terms + 1.0, -s);
+    EXPECT_NEAR(DirichletBeta(s), direct, 2.0 * tail + 1e-10) << "s=" << s;
+  }
+}
+
+TEST(SpecialFunctionsTest, GeneralizedBinomial) {
+  EXPECT_DOUBLE_EQ(GeneralizedBinomial(-1.5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(GeneralizedBinomial(-1.5, 1), -1.5);
+  EXPECT_DOUBLE_EQ(GeneralizedBinomial(-1.5, 2), 1.875);
+  EXPECT_DOUBLE_EQ(GeneralizedBinomial(5.0, 2), 10.0);  // ordinary C(5,2)
+  EXPECT_DOUBLE_EQ(GeneralizedBinomial(5.0, 6), 0.0);
+}
+
+// The paper's series expansion (Eq. 8-10) must agree with brute-force
+// lattice summation inside its convergence region. This validates both the
+// coefficients c_{2k-1} and our implementation of zeta/beta.
+TEST(LatticeSumTest, SeriesMatchesDirectSummation) {
+  for (double s : {0.05, 0.1, 0.25, 0.5, 1.0, 1.5, 2.5, 4.0}) {
+    const double direct = LatticeExponentialSumDirect(s, 1e-12);
+    const double series = LatticeExponentialSumSeries(s, 1e-14);
+    EXPECT_NEAR(series / direct, 1.0, 1e-8) << "s=" << s;
+  }
+}
+
+TEST(LatticeSumTest, ApproachesOneForLargeS) {
+  EXPECT_NEAR(LatticeExponentialSumDirect(30.0), 1.0, 1e-10);
+}
+
+TEST(LatticeSumTest, DominatedByLeadingTermForSmallS) {
+  const double s = 0.01;
+  const double t = LatticeExponentialSumSeries(s);
+  EXPECT_NEAR(t, 2.0 * M_PI / (s * s), 0.01 * t);
+}
+
+TEST(LatticeSumTest, StrictlyDecreasingInS) {
+  double prev = LatticeExponentialSum(0.05);
+  for (double s = 0.1; s < 10.0; s += 0.17) {
+    const double t = LatticeExponentialSum(s);
+    EXPECT_LT(t, prev) << "s=" << s;
+    prev = t;
+  }
+}
+
+TEST(SelfMappingTest, ProbabilityIsInUnitInterval) {
+  for (double eps : {0.05, 0.5, 2.0}) {
+    for (double side : {0.5, 2.0, 10.0}) {
+      const double phi = SelfMappingProbability(eps, side);
+      EXPECT_GT(phi, 0.0);
+      EXPECT_LT(phi, 1.0);
+    }
+  }
+}
+
+TEST(SelfMappingTest, MinBudgetAchievesRho) {
+  for (double rho : {0.5, 0.6, 0.7, 0.8, 0.9}) {
+    for (double side : {2.0, 5.0, 10.0}) {
+      auto eps = MinBudgetForSelfMapping(rho, side);
+      ASSERT_TRUE(eps.ok());
+      EXPECT_NEAR(SelfMappingProbability(eps.value(), side), rho, 1e-6)
+          << "rho=" << rho << " side=" << side;
+    }
+  }
+}
+
+TEST(SelfMappingTest, MinBudgetScalesInverselyWithCellSide) {
+  // Only the product eps * side matters, so eps(rho, side) * side is
+  // constant.
+  const double a = MinBudgetForSelfMapping(0.8, 1.0).value();
+  const double b = MinBudgetForSelfMapping(0.8, 4.0).value();
+  EXPECT_NEAR(a, 4.0 * b, 1e-6 * a);
+}
+
+TEST(SelfMappingTest, RejectsBadArguments) {
+  EXPECT_FALSE(MinBudgetForSelfMapping(0.0, 1.0).ok());
+  EXPECT_FALSE(MinBudgetForSelfMapping(1.0, 1.0).ok());
+  EXPECT_FALSE(MinBudgetForSelfMapping(0.5, -1.0).ok());
+}
+
+}  // namespace
+}  // namespace geopriv::mathx

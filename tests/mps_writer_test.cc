@@ -1,0 +1,84 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "lp/model.h"
+#include "lp/mps_writer.h"
+
+namespace geopriv::lp {
+namespace {
+
+std::string Dump(const Model& model) {
+  std::ostringstream os;
+  const Status status = WriteMps(model, "test", os);
+  EXPECT_TRUE(status.ok()) << status;
+  return os.str();
+}
+
+TEST(MpsWriterTest, EmitsAllSections) {
+  Model m;
+  const int x = m.AddVariable(0.0, kInfinity, 3.0);
+  const int y = m.AddVariable(0.0, 2.0, -1.0);
+  m.AddConstraint(ConstraintSense::kLessEqual, 4.0, {{x, 1.0}, {y, 2.0}});
+  m.AddConstraint(ConstraintSense::kEqual, 1.0, {{y, 1.0}});
+  const std::string mps = Dump(m);
+  for (const char* section :
+       {"NAME", "ROWS", "COLUMNS", "RHS", "BOUNDS", "ENDATA"}) {
+    EXPECT_NE(mps.find(section), std::string::npos) << section;
+  }
+  EXPECT_NE(mps.find(" N  COST"), std::string::npos);
+  EXPECT_NE(mps.find(" L  R0"), std::string::npos);
+  EXPECT_NE(mps.find(" E  R1"), std::string::npos);
+  // Bounded variable y gets an UP entry; x needs no bound rows.
+  EXPECT_NE(mps.find(" UP "), std::string::npos);
+  EXPECT_EQ(mps.find(" MI "), std::string::npos);
+}
+
+TEST(MpsWriterTest, MaximizationEmitsObjsense) {
+  Model m(ObjectiveSense::kMaximize);
+  m.AddVariable(0.0, 1.0, 1.0);
+  EXPECT_NE(Dump(m).find("OBJSENSE"), std::string::npos);
+  Model m2;
+  m2.AddVariable(0.0, 1.0, 1.0);
+  EXPECT_EQ(Dump(m2).find("OBJSENSE"), std::string::npos);
+}
+
+TEST(MpsWriterTest, FreeAndFixedAndNegativeBounds) {
+  Model m;
+  m.AddVariable(-kInfinity, kInfinity, 1.0);  // FR
+  m.AddVariable(2.0, 2.0, 1.0);               // FX
+  m.AddVariable(-5.0, kInfinity, 1.0);        // LO
+  m.AddVariable(-kInfinity, 3.0, 1.0);        // MI + UP
+  const std::string mps = Dump(m);
+  EXPECT_NE(mps.find(" FR "), std::string::npos);
+  EXPECT_NE(mps.find(" FX "), std::string::npos);
+  EXPECT_NE(mps.find(" LO "), std::string::npos);
+  EXPECT_NE(mps.find(" MI "), std::string::npos);
+}
+
+TEST(MpsWriterTest, DuplicateCoefficientsAreSummed) {
+  Model m;
+  const int x = m.AddVariable(0.0, kInfinity, 1.0);
+  m.AddConstraint(ConstraintSense::kLessEqual, 4.0,
+                  {{x, 1.0}, {x, 2.5}});  // same var twice
+  const std::string mps = Dump(m);
+  EXPECT_NE(mps.find("3.5"), std::string::npos);
+}
+
+TEST(MpsWriterTest, ZeroRhsOmitted) {
+  Model m;
+  const int x = m.AddVariable(0.0, kInfinity, 1.0);
+  m.AddConstraint(ConstraintSense::kLessEqual, 0.0, {{x, 1.0}});
+  const std::string mps = Dump(m);
+  // RHS section exists but carries no entry for the zero row.
+  EXPECT_EQ(mps.find("RHS1"), std::string::npos);
+}
+
+TEST(MpsWriterTest, FileVariantRejectsBadPath) {
+  Model m;
+  m.AddVariable(0.0, 1.0, 1.0);
+  EXPECT_FALSE(WriteMpsFile(m, "x", "/nonexistent/dir/m.mps").ok());
+}
+
+}  // namespace
+}  // namespace geopriv::lp

@@ -1,0 +1,165 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "lp/model.h"
+#include "lp/presolve.h"
+#include "lp/revised_simplex.h"
+#include "rng/rng.h"
+
+namespace geopriv::lp {
+namespace {
+
+TEST(PresolveTest, SubstitutesFixedVariables) {
+  Model m;
+  const int x = m.AddVariable(2.0, 2.0, 3.0);  // fixed at 2
+  const int y = m.AddVariable(0.0, kInfinity, 1.0);
+  m.AddConstraint(ConstraintSense::kGreaterEqual, 5.0, {{x, 1.0}, {y, 1.0}});
+  auto pre = Presolve(m);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_FALSE(pre->infeasible);
+  EXPECT_EQ(pre->removed_variables, 1);
+  EXPECT_EQ(pre->reduced.num_variables(), 1);
+  EXPECT_EQ(pre->reduced.num_constraints(), 1);
+  // Row becomes y >= 3 after substituting x = 2.
+  EXPECT_DOUBLE_EQ(pre->reduced.rhs(0), 3.0);
+  EXPECT_DOUBLE_EQ(pre->objective_offset, 6.0);
+
+  const LpSolution reduced_sol = RevisedSimplex::Solve(pre->reduced, {});
+  ASSERT_TRUE(reduced_sol.optimal());
+  const auto x_full = pre->RestoreSolution(reduced_sol.x);
+  EXPECT_DOUBLE_EQ(x_full[x], 2.0);
+  EXPECT_NEAR(x_full[y], 3.0, 1e-9);
+  // Objective identity: original = reduced + offset.
+  const LpSolution direct = RevisedSimplex::Solve(m, {});
+  ASSERT_TRUE(direct.optimal());
+  EXPECT_NEAR(direct.objective,
+              reduced_sol.objective + pre->objective_offset, 1e-9);
+}
+
+TEST(PresolveTest, SingletonRowsBecomeBounds) {
+  Model m;
+  const int x = m.AddVariable(0.0, kInfinity, -1.0);
+  m.AddConstraint(ConstraintSense::kLessEqual, 7.0, {{x, 1.0}});
+  m.AddConstraint(ConstraintSense::kGreaterEqual, 2.0, {{x, 1.0}});
+  auto pre = Presolve(m);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->reduced.num_constraints(), 0);
+  EXPECT_EQ(pre->removed_rows, 2);
+  EXPECT_DOUBLE_EQ(pre->reduced.lower_bound(0), 2.0);
+  EXPECT_DOUBLE_EQ(pre->reduced.upper_bound(0), 7.0);
+}
+
+TEST(PresolveTest, NegativeCoefficientSingletonFlipsDirection) {
+  Model m;
+  const int x = m.AddVariable(-kInfinity, kInfinity, 1.0);
+  // -2x <= 6  <=>  x >= -3.
+  m.AddConstraint(ConstraintSense::kLessEqual, 6.0, {{x, -2.0}});
+  auto pre = Presolve(m);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_DOUBLE_EQ(pre->reduced.lower_bound(0), -3.0);
+  EXPECT_FALSE(std::isfinite(pre->reduced.upper_bound(0)));
+}
+
+TEST(PresolveTest, EqualitySingletonFixesTheVariable) {
+  Model m;
+  const int x = m.AddVariable(0.0, kInfinity, 5.0);
+  const int y = m.AddVariable(0.0, kInfinity, 1.0);
+  m.AddConstraint(ConstraintSense::kEqual, 4.0, {{x, 2.0}});  // x = 2
+  m.AddConstraint(ConstraintSense::kGreaterEqual, 3.0, {{x, 1.0}, {y, 1.0}});
+  auto pre = Presolve(m);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->removed_variables, 1);
+  EXPECT_DOUBLE_EQ(pre->fixed_value[x], 2.0);
+  // Second row reduces to y >= 1.
+  ASSERT_EQ(pre->reduced.num_constraints(), 1);
+  EXPECT_DOUBLE_EQ(pre->reduced.rhs(0), 1.0);
+}
+
+TEST(PresolveTest, DetectsBoundInfeasibility) {
+  Model m;
+  const int x = m.AddVariable(0.0, 5.0, 1.0);
+  m.AddConstraint(ConstraintSense::kGreaterEqual, 9.0, {{x, 1.0}});
+  auto pre = Presolve(m);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_TRUE(pre->infeasible);
+}
+
+TEST(PresolveTest, DetectsDeterminedRowInfeasibility) {
+  Model m;
+  const int x = m.AddVariable(1.0, 1.0, 0.0);  // fixed at 1
+  m.AddConstraint(ConstraintSense::kEqual, 5.0, {{x, 2.0}});  // 2 != 5
+  auto pre = Presolve(m);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_TRUE(pre->infeasible);
+}
+
+TEST(PresolveTest, KeepsTriviallyTrueDeterminedRows) {
+  Model m;
+  const int x = m.AddVariable(3.0, 3.0, 0.0);
+  const int y = m.AddVariable(0.0, 1.0, -1.0);
+  m.AddConstraint(ConstraintSense::kLessEqual, 10.0, {{x, 1.0}});  // 3 <= 10
+  m.AddConstraint(ConstraintSense::kLessEqual, 1.0, {{y, 1.0}});
+  auto pre = Presolve(m);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_FALSE(pre->infeasible);
+  EXPECT_EQ(pre->reduced.num_variables(), 1);
+}
+
+// Property: on random feasible programs, solving the presolved model and
+// restoring must match the direct solve's objective.
+class PresolveEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveEquivalenceTest, ObjectiveMatchesDirectSolve) {
+  rng::Rng rng(500 + GetParam());
+  const int n = 3 + static_cast<int>(rng.UniformInt(6));
+  Model m(rng.Uniform() < 0.5 ? ObjectiveSense::kMinimize
+                              : ObjectiveSense::kMaximize);
+  for (int j = 0; j < n; ++j) {
+    if (rng.Uniform() < 0.3) {
+      const double v = rng.Uniform(-2.0, 2.0);
+      m.AddVariable(v, v, rng.Uniform(-3.0, 3.0));  // fixed
+    } else {
+      m.AddVariable(0.0, rng.Uniform(1.0, 5.0), rng.Uniform(-3.0, 3.0));
+    }
+  }
+  const int rows = 1 + static_cast<int>(rng.UniformInt(2 * n));
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Coefficient> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.Uniform() < 0.5) terms.push_back({j, rng.Uniform(-2.0, 2.0)});
+    }
+    if (terms.empty()) terms.push_back({static_cast<int>(rng.UniformInt(n)), 1.0});
+    // Generous rhs keeps the instance feasible despite fixed variables.
+    m.AddConstraint(ConstraintSense::kLessEqual, rng.Uniform(8.0, 20.0),
+                    std::move(terms));
+  }
+  const LpSolution direct = RevisedSimplex::Solve(m, {});
+  auto pre = Presolve(m);
+  ASSERT_TRUE(pre.ok());
+  if (pre->infeasible) {
+    EXPECT_EQ(direct.status, SolveStatus::kInfeasible);
+    return;
+  }
+  ASSERT_TRUE(direct.optimal());
+  const LpSolution reduced_sol = RevisedSimplex::Solve(pre->reduced, {});
+  ASSERT_TRUE(reduced_sol.optimal());
+  // Note: the reduced model preserves the original sense, so objectives
+  // compose additively in the original orientation.
+  EXPECT_NEAR(direct.objective,
+              reduced_sol.objective + pre->objective_offset,
+              1e-6 * (1.0 + std::abs(direct.objective)));
+  // The restored solution is feasible for the original model.
+  const auto x_full = pre->RestoreSolution(reduced_sol.x);
+  for (int i = 0; i < m.num_constraints(); ++i) {
+    double activity = 0.0;
+    for (const Coefficient& t : m.row(i)) activity += t.value * x_full[t.var];
+    EXPECT_LE(activity, m.rhs(i) + 1e-6) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresolveEquivalenceTest,
+                         ::testing::Range(1, 31));
+
+}  // namespace
+}  // namespace geopriv::lp

@@ -1,0 +1,130 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "prior/prior.h"
+#include "rng/rng.h"
+#include "spatial/grid.h"
+
+namespace geopriv::prior {
+namespace {
+
+using geo::BBox;
+using geo::Point;
+
+constexpr BBox kDomain{0.0, 0.0, 20.0, 20.0};
+
+TEST(PriorTest, FromPointsValidation) {
+  EXPECT_FALSE(Prior::FromPoints(kDomain, 0, {{1, 1}}).ok());
+  EXPECT_FALSE(Prior::FromPoints({0, 0, 0, 0}, 4, {{1, 1}}).ok());
+  EXPECT_FALSE(Prior::FromPoints(kDomain, 4, {}, 0.0).ok());
+  EXPECT_FALSE(Prior::FromPoints(kDomain, 4, {{30, 30}}, 0.0).ok());
+  EXPECT_TRUE(Prior::FromPoints(kDomain, 4, {}, 1.0).ok());
+  EXPECT_FALSE(Prior::FromPoints(kDomain, 4, {{1, 1}}, -1.0).ok());
+}
+
+TEST(PriorTest, HistogramNormalizes) {
+  auto prior = Prior::FromPoints(kDomain, 10, {{1, 1}, {1, 1}, {15, 15}});
+  ASSERT_TRUE(prior.ok());
+  double total = 0.0;
+  for (int i = 0; i < prior->grid().num_cells(); ++i) {
+    total += prior->mass(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(prior->mass(prior->grid().CellOf({1, 1})), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PriorTest, OutsidePointsIgnored) {
+  auto prior = Prior::FromPoints(kDomain, 4, {{1, 1}, {50, 50}});
+  ASSERT_TRUE(prior.ok());
+  EXPECT_NEAR(prior->mass(prior->grid().CellOf({1, 1})), 1.0, 1e-12);
+}
+
+TEST(PriorTest, UniformPrior) {
+  Prior prior = Prior::Uniform(kDomain, 5);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_DOUBLE_EQ(prior.mass(i), 1.0 / 25.0);
+  }
+  EXPECT_NEAR(prior.MassIn({0, 0, 10, 10}), 0.25, 1e-12);
+}
+
+TEST(PriorTest, MassInWholeDomainIsOne) {
+  rng::Rng rng(1);
+  std::vector<Point> pts;
+  for (int i = 0; i < 1000; ++i) {
+    pts.push_back({rng.Uniform(0, 20), rng.Uniform(0, 20)});
+  }
+  auto prior = Prior::FromPoints(kDomain, 64, pts);
+  ASSERT_TRUE(prior.ok());
+  EXPECT_NEAR(prior->MassIn(kDomain), 1.0, 1e-9);
+}
+
+TEST(PriorTest, MassInAlignedBoxIsExact) {
+  auto prior = Prior::FromPoints(kDomain, 4, {{2, 2}, {2, 2}, {18, 18}});
+  ASSERT_TRUE(prior.ok());
+  // Box equal to the fine cell containing (2,2): [0,5]x[0,5].
+  EXPECT_NEAR(prior->MassIn({0, 0, 5, 5}), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(prior->MassIn({15, 15, 20, 20}), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(prior->MassIn({5, 5, 15, 15}), 0.0, 1e-12);
+}
+
+TEST(PriorTest, MassInUsesAreaWeightingForPartialOverlap) {
+  Prior prior = Prior::Uniform(kDomain, 2);  // four cells, 0.25 each
+  // A box covering exactly half of one 10x10 cell.
+  EXPECT_NEAR(prior.MassIn({0, 0, 5, 10}), 0.125, 1e-12);
+  // A centered box overlapping all four cells by a quarter each.
+  EXPECT_NEAR(prior.MassIn({5, 5, 15, 15}), 0.25, 1e-12);
+}
+
+TEST(PriorTest, ConditionalNormalizesWithinRegion) {
+  auto prior = Prior::FromPoints(kDomain, 8, {{1, 1}, {1, 1}, {4, 1}});
+  ASSERT_TRUE(prior.ok());
+  const std::vector<BBox> cells = {{0, 0, 2.5, 2.5}, {2.5, 0, 5, 2.5}};
+  const auto cond = prior->ConditionalOn(cells);
+  EXPECT_NEAR(cond[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cond[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(PriorTest, ConditionalFallsBackToUniformOnZeroMass) {
+  auto prior = Prior::FromPoints(kDomain, 8, {{1, 1}});
+  ASSERT_TRUE(prior.ok());
+  const std::vector<BBox> cells = {{10, 10, 15, 15}, {15, 10, 20, 15},
+                                   {10, 15, 15, 20}};
+  const auto cond = prior->ConditionalOn(cells);
+  for (double c : cond) {
+    EXPECT_NEAR(c, 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(PriorTest, OnGridAggregatesExactlyForNestedGranularity) {
+  rng::Rng rng(2);
+  std::vector<Point> pts;
+  for (int i = 0; i < 5000; ++i) {
+    pts.push_back({rng.Uniform(0, 20), rng.Uniform(0, 20)});
+  }
+  auto prior = Prior::FromPoints(kDomain, 16, pts);
+  ASSERT_TRUE(prior.ok());
+  spatial::UniformGrid coarse(kDomain, 4);  // 16 = 4 * 4: exact nesting
+  const auto agg = prior->OnGrid(coarse);
+  double total = 0.0;
+  for (double a : agg) total += a;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Recount directly on the coarse grid.
+  std::vector<int> counts(16, 0);
+  for (const Point& p : pts) ++counts[coarse.CellOf(p)];
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_NEAR(agg[i], counts[i] / 5000.0, 1e-9) << "cell " << i;
+  }
+}
+
+TEST(PriorTest, SmoothingAddsFloorMass) {
+  auto prior = Prior::FromPoints(kDomain, 2, {{1, 1}}, 1.0);
+  ASSERT_TRUE(prior.ok());
+  // Total weight = 1 point + 4 cells * 1.0 smoothing = 5.
+  EXPECT_NEAR(prior->mass(prior->grid().CellOf({1, 1})), 2.0 / 5.0, 1e-12);
+  EXPECT_NEAR(prior->mass(prior->grid().CellOf({15, 15})), 1.0 / 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace geopriv::prior

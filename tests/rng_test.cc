@@ -1,0 +1,151 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/alias_sampler.h"
+#include "rng/rng.h"
+#include "rng/zipf.h"
+
+namespace geopriv::rng {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123), c(456);
+  EXPECT_EQ(a.UniformInt(1000000), b.UniformInt(1000000));
+  const double ua = a.Uniform();
+  const double ub = b.Uniform();
+  EXPECT_EQ(ua, ub);
+  // A different seed should (overwhelmingly) diverge.
+  EXPECT_NE(ua, c.Uniform());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[rng.UniformInt(10)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 600);  // ~6 sigma
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(AliasSamplerTest, RejectsBadWeights) {
+  EXPECT_FALSE(AliasSampler::Create({}).ok());
+  EXPECT_FALSE(AliasSampler::Create({0.0, 0.0}).ok());
+  EXPECT_FALSE(AliasSampler::Create({1.0, -0.5}).ok());
+  EXPECT_FALSE(AliasSampler::Create({1.0, std::nan("")}).ok());
+}
+
+TEST(AliasSamplerTest, SingleOutcome) {
+  auto s = AliasSampler::Create({3.0});
+  ASSERT_TRUE(s.ok());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s->Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, NormalizedProbabilities) {
+  auto s = AliasSampler::Create({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->probability(0), 0.1);
+  EXPECT_DOUBLE_EQ(s->probability(3), 0.4);
+}
+
+TEST(AliasSamplerTest, EmpiricalFrequenciesMatchWeights) {
+  const std::vector<double> weights = {0.5, 0.0, 2.0, 1.5, 4.0, 0.25};
+  auto s = AliasSampler::Create(weights);
+  ASSERT_TRUE(s.ok());
+  Rng rng(42);
+  const int n = 500000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < n; ++i) ++counts[s->Sample(rng)];
+  double total = 0.0;
+  for (double w : weights) total += w;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = n * weights[i] / total;
+    EXPECT_NEAR(counts[i], expected, 5.0 * std::sqrt(expected + 1.0) + 5.0)
+        << "outcome " << i;
+  }
+  EXPECT_EQ(counts[1], 0) << "zero-weight outcome must never be drawn";
+}
+
+TEST(AliasSamplerTest, AgreesWithLinearReference) {
+  const std::vector<double> weights = {1.0, 3.0, 2.0, 4.0};
+  auto s = AliasSampler::Create(weights);
+  ASSERT_TRUE(s.ok());
+  Rng r1(9), r2(9);
+  std::vector<int> alias_counts(4, 0), linear_counts(4, 0);
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    ++alias_counts[s->Sample(r1)];
+    ++linear_counts[SampleLinear(weights, 10.0, r2)];
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(alias_counts[i], linear_counts[i], 2500) << i;
+  }
+}
+
+TEST(ZipfTest, RejectsBadArguments) {
+  EXPECT_FALSE(ZipfSampler::Create(0, 1.0).ok());
+  EXPECT_FALSE(ZipfSampler::Create(10, -1.0).ok());
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  auto z = ZipfSampler::Create(4, 0.0);
+  ASSERT_TRUE(z.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(z->probability(i), 0.25);
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesFollowPowerLaw) {
+  auto z = ZipfSampler::Create(100, 1.0);
+  ASSERT_TRUE(z.ok());
+  // P(rank 0) / P(rank 9) = 10 under s = 1.
+  EXPECT_NEAR(z->probability(0) / z->probability(9), 10.0, 1e-9);
+  double total = 0.0;
+  for (size_t i = 0; i < 100; ++i) total += z->probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, HeadDominatesSamples) {
+  auto z = ZipfSampler::Create(1000, 1.2);
+  ASSERT_TRUE(z.ok());
+  Rng rng(3);
+  int head = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (z->Sample(rng) < 10) ++head;
+  }
+  // With s=1.2 and n=1000 the top-10 ranks carry a large share of the mass.
+  EXPECT_GT(head, n / 4);
+}
+
+}  // namespace
+}  // namespace geopriv::rng

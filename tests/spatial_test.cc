@@ -1,0 +1,354 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geo/distance.h"
+#include "rng/rng.h"
+#include "spatial/grid.h"
+#include "spatial/hierarchical_grid.h"
+#include "spatial/kd_partition.h"
+#include "spatial/quadtree.h"
+#include "spatial/str_rtree.h"
+
+namespace geopriv::spatial {
+namespace {
+
+using geo::BBox;
+using geo::Point;
+
+constexpr BBox kDomain{0.0, 0.0, 20.0, 20.0};
+
+std::vector<Point> RandomPoints(int n, uint64_t seed,
+                                const BBox& box = kDomain) {
+  rng::Rng rng(seed);
+  std::vector<Point> pts(n);
+  for (auto& p : pts) {
+    p = {rng.Uniform(box.min_x, box.max_x),
+         rng.Uniform(box.min_y, box.max_y)};
+  }
+  return pts;
+}
+
+TEST(UniformGridTest, CellIndexRoundTrip) {
+  UniformGrid grid(kDomain, 4);
+  EXPECT_EQ(grid.num_cells(), 16);
+  for (int cell = 0; cell < grid.num_cells(); ++cell) {
+    EXPECT_EQ(grid.CellOf(grid.CenterOf(cell)), cell);
+    EXPECT_TRUE(grid.CellBounds(cell).Contains(grid.CenterOf(cell)));
+  }
+}
+
+TEST(UniformGridTest, ClampsOutsidePoints) {
+  UniformGrid grid(kDomain, 4);
+  EXPECT_EQ(grid.CellOf({-5.0, -5.0}), grid.cell_at(0, 0));
+  EXPECT_EQ(grid.CellOf({25.0, 25.0}), grid.cell_at(3, 3));
+  EXPECT_FALSE(grid.Contains({25.0, 25.0}));
+}
+
+TEST(UniformGridTest, CellsTileTheDomain) {
+  UniformGrid grid(kDomain, 5);
+  double area = 0.0;
+  for (int cell = 0; cell < grid.num_cells(); ++cell) {
+    area += grid.CellBounds(cell).Area();
+  }
+  EXPECT_NEAR(area, kDomain.Area(), 1e-9);
+}
+
+TEST(HierarchicalGridTest, CreateValidation) {
+  EXPECT_FALSE(HierarchicalGrid::Create(kDomain, 1, 3).ok());
+  EXPECT_FALSE(HierarchicalGrid::Create(kDomain, 2, 0).ok());
+  EXPECT_FALSE(HierarchicalGrid::Create({0, 0, 0, 0}, 2, 3).ok());
+  EXPECT_FALSE(HierarchicalGrid::Create(kDomain, 6, 18).ok());
+  EXPECT_TRUE(HierarchicalGrid::Create(kDomain, 3, 4).ok());
+}
+
+TEST(HierarchicalGridTest, RootAndLevels) {
+  auto grid = HierarchicalGrid::Create(kDomain, 3, 3);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->height(), 3);
+  EXPECT_EQ(grid->Bounds(HierarchicalPartition::kRoot), kDomain);
+  EXPECT_FALSE(grid->IsLeaf(HierarchicalPartition::kRoot));
+  EXPECT_EQ(grid->LevelOf(HierarchicalPartition::kRoot), 0);
+  EXPECT_DOUBLE_EQ(grid->TypicalCellSide(1), 20.0 / 3.0);
+  EXPECT_DOUBLE_EQ(grid->TypicalCellSide(3), 20.0 / 27.0);
+}
+
+TEST(HierarchicalGridTest, ChildrenTileParent) {
+  auto grid = HierarchicalGrid::Create(kDomain, 3, 3);
+  ASSERT_TRUE(grid.ok());
+  // Walk a random path down and check tiling at each step.
+  rng::Rng rng(1);
+  NodeIndex node = HierarchicalPartition::kRoot;
+  while (!grid->IsLeaf(node)) {
+    const BBox parent = grid->Bounds(node);
+    const auto children = grid->Children(node);
+    ASSERT_EQ(children.size(), 9u);
+    double area = 0.0;
+    for (const auto& c : children) {
+      area += c.bounds.Area();
+      EXPECT_GE(c.bounds.min_x, parent.min_x - 1e-9);
+      EXPECT_LE(c.bounds.max_x, parent.max_x + 1e-9);
+      EXPECT_EQ(grid->Bounds(c.id), c.bounds);
+    }
+    EXPECT_NEAR(area, parent.Area(), 1e-9);
+    node = children[rng.UniformInt(children.size())].id;
+  }
+  EXPECT_EQ(grid->LevelOf(node), 3);
+}
+
+TEST(HierarchicalGridTest, NodeAtFindsEnclosingCell) {
+  auto grid = HierarchicalGrid::Create(kDomain, 4, 2);
+  ASSERT_TRUE(grid.ok());
+  rng::Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point p{rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)};
+    for (int level = 0; level <= 2; ++level) {
+      const NodeIndex node = grid->NodeAt(level, p);
+      EXPECT_TRUE(grid->Bounds(node).Contains(p));
+      EXPECT_EQ(grid->LevelOf(node), level);
+    }
+  }
+}
+
+TEST(HierarchicalGridTest, ChildIdsAreConsistentWithNodeAt) {
+  auto grid = HierarchicalGrid::Create(kDomain, 2, 4);
+  ASSERT_TRUE(grid.ok());
+  const Point p{13.7, 4.2};
+  NodeIndex node = HierarchicalPartition::kRoot;
+  for (int level = 1; level <= 4; ++level) {
+    const auto children = grid->Children(node);
+    NodeIndex found = -1;
+    for (const auto& c : children) {
+      if (c.bounds.Contains(p)) {
+        found = c.id;
+        break;
+      }
+    }
+    ASSERT_GE(found, 0);
+    EXPECT_EQ(found, grid->NodeAt(level, p));
+    node = found;
+  }
+}
+
+TEST(KdPartitionTest, CreateValidation) {
+  const auto pts = RandomPoints(100, 7);
+  EXPECT_FALSE(KdPartition::Create(kDomain, pts, 1, 2).ok());
+  EXPECT_FALSE(KdPartition::Create(kDomain, pts, 2, 0).ok());
+  EXPECT_FALSE(KdPartition::Create(kDomain, pts, 6, 12).ok());
+  EXPECT_TRUE(KdPartition::Create(kDomain, pts, 2, 3).ok());
+}
+
+TEST(KdPartitionTest, ChildrenTileParentAndBalanceMass) {
+  // Clustered data: children should adapt and carry similar counts.
+  rng::Rng rng(11);
+  std::vector<Point> pts;
+  for (int i = 0; i < 4000; ++i) {
+    pts.push_back({std::clamp(rng.Gaussian(4.0, 1.5), 0.0, 20.0),
+                   std::clamp(rng.Gaussian(15.0, 2.0), 0.0, 20.0)});
+  }
+  auto tree = KdPartition::Create(kDomain, pts, 3, 2);
+  ASSERT_TRUE(tree.ok());
+  const auto children = tree->Children(HierarchicalPartition::kRoot);
+  ASSERT_EQ(children.size(), 9u);
+  double area = 0.0;
+  std::vector<int> counts(children.size(), 0);
+  for (const Point& p : pts) {
+    for (size_t c = 0; c < children.size(); ++c) {
+      if (children[c].bounds.Contains(p)) {
+        ++counts[c];
+        break;
+      }
+    }
+  }
+  for (size_t c = 0; c < children.size(); ++c) {
+    area += children[c].bounds.Area();
+    // Equal-mass splits: each child holds roughly n / 9 points.
+    EXPECT_NEAR(counts[c], 4000 / 9, 150) << "child " << c;
+  }
+  EXPECT_NEAR(area, kDomain.Area(), 1e-6);
+}
+
+TEST(KdPartitionTest, FallsBackToUniformOnSparseData) {
+  auto tree = KdPartition::Create(kDomain, RandomPoints(3, 5), 2, 2);
+  ASSERT_TRUE(tree.ok());
+  const auto children = tree->Children(HierarchicalPartition::kRoot);
+  ASSERT_EQ(children.size(), 4u);
+  for (const auto& c : children) {
+    EXPECT_NEAR(c.bounds.Area(), 100.0, 1e-9);
+  }
+}
+
+TEST(QuadTreeTest, CreateValidation) {
+  const auto pts = RandomPoints(100, 9);
+  EXPECT_FALSE(AdaptiveQuadTree::Create(kDomain, pts, 0, 10).ok());
+  EXPECT_FALSE(AdaptiveQuadTree::Create(kDomain, pts, 4, 0).ok());
+  EXPECT_TRUE(AdaptiveQuadTree::Create(kDomain, pts, 4, 10).ok());
+}
+
+TEST(QuadTreeTest, DeepWhereDense) {
+  // All mass in one corner: that quadrant should be subdivided, the
+  // opposite one should be a level-1 leaf.
+  rng::Rng rng(13);
+  std::vector<Point> pts;
+  for (int i = 0; i < 2000; ++i) {
+    pts.push_back({rng.Uniform(0.0, 2.0), rng.Uniform(0.0, 2.0)});
+  }
+  auto tree = AdaptiveQuadTree::Create(kDomain, pts, 6, 20);
+  ASSERT_TRUE(tree.ok());
+  const auto children = tree->Children(HierarchicalPartition::kRoot);
+  ASSERT_EQ(children.size(), 4u);
+  // children[0] is SW (dense), children[3] is NE (empty).
+  EXPECT_FALSE(tree->IsLeaf(children[0].id));
+  EXPECT_TRUE(tree->IsLeaf(children[3].id));
+  EXPECT_EQ(tree->PointCount(children[3].id), 0);
+  EXPECT_EQ(tree->PointCount(children[0].id), 2000);
+  EXPECT_GE(tree->height(), 3);
+}
+
+TEST(QuadTreeTest, CountsArePreservedAcrossSplits) {
+  const auto pts = RandomPoints(5000, 17);
+  auto tree = AdaptiveQuadTree::Create(kDomain, pts, 5, 50);
+  ASSERT_TRUE(tree.ok());
+  // Sum of children counts equals the parent count, recursively.
+  std::vector<NodeIndex> stack = {HierarchicalPartition::kRoot};
+  while (!stack.empty()) {
+    const NodeIndex node = stack.back();
+    stack.pop_back();
+    if (tree->IsLeaf(node)) continue;
+    int sum = 0;
+    for (const auto& c : tree->Children(node)) {
+      sum += tree->PointCount(c.id);
+      stack.push_back(c.id);
+    }
+    EXPECT_EQ(sum, tree->PointCount(node));
+  }
+}
+
+TEST(StrRTreeTest, BuildValidation) {
+  EXPECT_FALSE(StrRTree::Build({}, 16).ok());
+  EXPECT_FALSE(StrRTree::Build(RandomPoints(10, 1), 1).ok());
+  EXPECT_TRUE(StrRTree::Build(RandomPoints(10, 1), 4).ok());
+}
+
+TEST(StrRTreeTest, NearestMatchesBruteForce) {
+  const auto pts = RandomPoints(2000, 21);
+  auto tree = StrRTree::Build(pts, 16);
+  ASSERT_TRUE(tree.ok());
+  rng::Rng rng(22);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point q{rng.Uniform(-2.0, 22.0), rng.Uniform(-2.0, 22.0)};
+    int best = 0;
+    for (int i = 1; i < 2000; ++i) {
+      if (geo::SquaredEuclidean(pts[i], q) <
+          geo::SquaredEuclidean(pts[best], q)) {
+        best = i;
+      }
+    }
+    EXPECT_DOUBLE_EQ(geo::SquaredEuclidean(pts[tree->Nearest(q)], q),
+                     geo::SquaredEuclidean(pts[best], q));
+  }
+}
+
+TEST(StrRTreeTest, KNearestIsSortedAndMatchesBruteForce) {
+  const auto pts = RandomPoints(500, 23);
+  auto tree = StrRTree::Build(pts, 8);
+  ASSERT_TRUE(tree.ok());
+  const Point q{10.0, 10.0};
+  const int k = 25;
+  const auto knn = tree->KNearest(q, k);
+  ASSERT_EQ(knn.size(), static_cast<size_t>(k));
+  // Ascending distances.
+  for (int i = 1; i < k; ++i) {
+    EXPECT_LE(geo::SquaredEuclidean(pts[knn[i - 1]], q),
+              geo::SquaredEuclidean(pts[knn[i]], q) + 1e-12);
+  }
+  // Matches a brute-force top-k (by distance multiset).
+  std::vector<double> brute(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    brute[i] = geo::SquaredEuclidean(pts[i], q);
+  }
+  std::sort(brute.begin(), brute.end());
+  for (int i = 0; i < k; ++i) {
+    EXPECT_DOUBLE_EQ(geo::SquaredEuclidean(pts[knn[i]], q), brute[i]);
+  }
+}
+
+TEST(StrRTreeTest, KnnLargerThanTreeReturnsAll) {
+  const auto pts = RandomPoints(7, 29);
+  auto tree = StrRTree::Build(pts, 4);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->KNearest({0, 0}, 20).size(), 7u);
+}
+
+TEST(StrRTreeTest, RangeQueryMatchesBruteForce) {
+  const auto pts = RandomPoints(3000, 31);
+  auto tree = StrRTree::Build(pts, 16);
+  ASSERT_TRUE(tree.ok());
+  const BBox box{3.0, 5.0, 9.0, 12.0};
+  auto found = tree->InRange(box);
+  std::sort(found.begin(), found.end());
+  std::vector<int> brute;
+  for (int i = 0; i < 3000; ++i) {
+    if (box.Contains(pts[i])) brute.push_back(i);
+  }
+  EXPECT_EQ(found, brute);
+}
+
+TEST(StrRTreeTest, PointAccessorUsesOriginalIndexing) {
+  // Regression: point(i) must accept the ORIGINAL index space that queries
+  // return, not the internal STR-packed order.
+  const auto pts = RandomPoints(300, 33);
+  auto tree = StrRTree::Build(pts, 8);
+  ASSERT_TRUE(tree.ok());
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(tree->point(i), pts[i]) << i;
+  }
+  const Point q{4.2, 13.1};
+  const int nn = tree->Nearest(q);
+  EXPECT_EQ(tree->point(nn), pts[nn]);
+}
+
+TEST(KdPartitionTest, TypicalCellSideShrinksWithDepth) {
+  const auto pts = RandomPoints(5000, 41);
+  auto tree = KdPartition::Create(kDomain, pts, 2, 4);
+  ASSERT_TRUE(tree.ok());
+  double prev = 1e9;
+  for (int level = 1; level <= 4; ++level) {
+    const double side = tree->TypicalCellSide(level);
+    EXPECT_GT(side, 0.0);
+    EXPECT_LT(side, prev) << "level " << level;
+    prev = side;
+  }
+}
+
+TEST(QuadTreeTest, TypicalCellSideHalvesPerLevel) {
+  const auto pts = RandomPoints(5000, 43);
+  auto tree = AdaptiveQuadTree::Create(kDomain, pts, 4, 100);
+  ASSERT_TRUE(tree.ok());
+  // Quadrants always halve the parent, and all nodes at a level share the
+  // same size under a square domain.
+  for (int level = 1; level <= tree->height(); ++level) {
+    if (tree->TypicalCellSide(level) == 0.0) continue;  // level unreached
+    EXPECT_NEAR(tree->TypicalCellSide(level), 20.0 / (1 << level), 1e-9)
+        << "level " << level;
+  }
+}
+
+TEST(HierarchicalGridTest, RectangularDomainUsesGeometricMeanSide) {
+  auto grid = HierarchicalGrid::Create({0, 0, 40, 10}, 2, 2);
+  ASSERT_TRUE(grid.ok());
+  // Level-1 cells are 20 x 5 -> geometric mean 10.
+  EXPECT_NEAR(grid->TypicalCellSide(1), 10.0, 1e-12);
+}
+
+TEST(StrRTreeTest, SinglePointTree) {
+  auto tree = StrRTree::Build({{1.0, 2.0}}, 4);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Nearest({100.0, 100.0}), 0);
+  EXPECT_EQ(tree->InRange({0, 0, 5, 5}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace geopriv::spatial
