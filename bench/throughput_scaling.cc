@@ -1,0 +1,204 @@
+// Service throughput scaling: QPS and tail latency of SanitizationService
+// as a function of worker-pool size, with a cold node cache (every request
+// wave pays LP solves) and a warm one (pure serving path). Results go to
+// stdout as a table and to --json (default BENCH_service.json).
+//
+// Flags:
+//   --threads "1,2,4,8"   comma-separated worker counts to sweep
+//   --requests N          requests per measurement batch (default 2000)
+//   --eps E               privacy budget (default 0.5)
+//   --g G                 index fanout (default 3)
+//   --json PATH           output JSON path (default BENCH_service.json)
+//
+// The sweep runs on one process; real speedups require real cores, so the
+// JSON records hardware_concurrency alongside each data point.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/check.h"
+#include "base/stopwatch.h"
+#include "bench/bench_util.h"
+#include "eval/table.h"
+#include "service/sanitization_service.h"
+
+namespace geopriv::bench {
+namespace {
+
+// The paper's Austin study region (matches data::GowallaAustinLike()).
+constexpr double kMinLat = 30.1927, kMinLon = -97.8698;
+constexpr double kMaxLat = 30.3723, kMaxLon = -97.6618;
+
+std::vector<int> ParseThreadList(const std::string& spec) {
+  std::vector<int> out;
+  std::string token;
+  for (char c : spec + ",") {
+    if (c == ',') {
+      if (!token.empty()) out.push_back(std::atoi(token.c_str()));
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  GEOPRIV_CHECK_MSG(!out.empty(), "empty --threads list");
+  return out;
+}
+
+// Deterministic query stream covering the whole region (not just one
+// hotspot) so the index walk touches many nodes.
+std::vector<core::LatLon> MakeQueries(int n) {
+  std::vector<core::LatLon> queries;
+  queries.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double u = (i % 97) / 96.0;
+    const double v = (i % 83) / 82.0;
+    queries.push_back({kMinLat + u * (kMaxLat - kMinLat),
+                       kMinLon + v * (kMaxLon - kMinLon)});
+  }
+  return queries;
+}
+
+struct BatchMeasurement {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double wall_seconds = 0.0;
+};
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+BatchMeasurement RunBatch(service::SanitizationService& service,
+                          const std::vector<core::LatLon>& queries) {
+  Stopwatch watch;
+  const auto results = service.SanitizeBatch("austin", queries);
+  BatchMeasurement m;
+  m.wall_seconds = watch.ElapsedSeconds();
+  std::vector<double> latencies;
+  latencies.reserve(results.size());
+  for (const auto& r : results) {
+    GEOPRIV_CHECK_OK(r.status);
+    latencies.push_back(r.latency_ms);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  m.qps = m.wall_seconds > 0 ? queries.size() / m.wall_seconds : 0.0;
+  m.p50_ms = Percentile(latencies, 0.50);
+  m.p99_ms = Percentile(latencies, 0.99);
+  return m;
+}
+
+struct DataPoint {
+  int threads = 0;
+  BatchMeasurement cold, warm;
+  int64_t lp_solves = 0;
+  int64_t cache_hits = 0;
+  size_t cache_size = 0;
+  uint64_t singleflight_waits = 0;
+};
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::vector<int> thread_counts =
+      ParseThreadList(flags.GetString("threads", "1,2,4,8"));
+  const int requests = flags.GetInt("requests", 2000);
+  const double eps = flags.GetDouble("eps", 0.5);
+  const int g = flags.GetInt("g", 3);
+  const std::string json_path = flags.GetString("json", "BENCH_service.json");
+
+  service::RegionConfig region;
+  region.min_lat = kMinLat;
+  region.min_lon = kMinLon;
+  region.max_lat = kMaxLat;
+  region.max_lon = kMaxLon;
+  region.eps = eps;
+  region.granularity = g;
+  region.prior_granularity = 32;
+
+  const auto queries = MakeQueries(requests);
+  std::vector<DataPoint> points;
+  for (int threads : thread_counts) {
+    service::ServiceOptions options;
+    options.num_workers = threads;
+    options.queue_capacity = static_cast<size_t>(requests) + 16;
+    options.seed = 20190326;
+    auto service = service::SanitizationService::Create(options);
+    GEOPRIV_CHECK_OK(service.status());
+    GEOPRIV_CHECK_OK((*service)->RegisterRegion("austin", region));
+
+    DataPoint point;
+    point.threads = threads;
+    point.cold = RunBatch(**service, queries);  // pays LP solves
+    point.warm = RunBatch(**service, queries);  // pure serving path
+    const auto info = (*service)->GetRegionInfo("austin");
+    GEOPRIV_CHECK_OK(info.status());
+    point.lp_solves = info->msm.lp_solves;
+    point.cache_hits = info->msm.cache_hits;
+    point.cache_size = info->cache_size;
+    point.singleflight_waits = info->singleflight_waits;
+    points.push_back(point);
+    std::printf("threads=%d done (cold %.0f qps, warm %.0f qps)\n", threads,
+                point.cold.qps, point.warm.qps);
+  }
+
+  std::printf("\nService throughput scaling (requests=%d, eps=%g, g=%d)\n",
+              requests, eps, g);
+  eval::Table table({"threads", "cold QPS", "cold p99 ms", "warm QPS",
+                     "warm p50 ms", "warm p99 ms", "LP solves", "hit rate"});
+  for (const auto& p : points) {
+    const double lookups =
+        static_cast<double>(p.cache_hits + p.lp_solves);
+    const double hit_rate = lookups > 0 ? p.cache_hits / lookups : 0.0;
+    table.AddRow({std::to_string(p.threads), eval::Fmt(p.cold.qps, 1),
+                  eval::Fmt(p.cold.p99_ms, 3), eval::Fmt(p.warm.qps, 1),
+                  eval::Fmt(p.warm.p50_ms, 3), eval::Fmt(p.warm.p99_ms, 3),
+                  std::to_string(p.lp_solves), eval::Fmt(hit_rate, 3)});
+  }
+  table.Print(std::cout);
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"throughput_scaling\",\n"
+               "  \"requests\": %d,\n  \"eps\": %g,\n  \"granularity\": %d,\n"
+               "  \"hardware_concurrency\": %u,\n  \"points\": [\n",
+               requests, eps, g, std::thread::hardware_concurrency());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    const double lookups = static_cast<double>(p.cache_hits + p.lp_solves);
+    std::fprintf(
+        f,
+        "    {\"threads\": %d,"
+        " \"cold\": {\"qps\": %.2f, \"p50_ms\": %.4f, \"p99_ms\": %.4f,"
+        " \"wall_s\": %.4f},"
+        " \"warm\": {\"qps\": %.2f, \"p50_ms\": %.4f, \"p99_ms\": %.4f,"
+        " \"wall_s\": %.4f},"
+        " \"lp_solves\": %lld, \"cache_hits\": %lld, \"cache_size\": %zu,"
+        " \"singleflight_waits\": %llu, \"cache_hit_rate\": %.4f}%s\n",
+        p.threads, p.cold.qps, p.cold.p50_ms, p.cold.p99_ms,
+        p.cold.wall_seconds, p.warm.qps, p.warm.p50_ms, p.warm.p99_ms,
+        p.warm.wall_seconds, static_cast<long long>(p.lp_solves),
+        static_cast<long long>(p.cache_hits), p.cache_size,
+        static_cast<unsigned long long>(p.singleflight_waits),
+        lookups > 0 ? p.cache_hits / lookups : 0.0,
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nJSON written to %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace geopriv::bench
+
+int main(int argc, char** argv) { return geopriv::bench::Main(argc, argv); }

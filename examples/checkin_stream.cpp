@@ -75,10 +75,11 @@ int main(int argc, char** argv) {
               eps);
   table.Print(std::cout);
   std::printf(
-      "\nMSM solved %d node LPs (%.2fs total) and served %d cache hits — "
-      "the max latency is the cold-cache solve, the mean is the steady "
+      "\nMSM solved %lld node LPs (%.2fs total) and served %lld cache hits "
+      "— the max latency is the cold-cache solve, the mean is the steady "
       "state.\n",
-      msm->stats().lp_solves, msm->stats().lp_seconds,
-      msm->stats().cache_hits);
+      static_cast<long long>(msm->stats().lp_solves),
+      msm->stats().lp_seconds,
+      static_cast<long long>(msm->stats().cache_hits));
   return 0;
 }

@@ -57,6 +57,12 @@ LocationSanitizer::Builder& LocationSanitizer::Builder::SetUtilityMetric(
   return *this;
 }
 
+LocationSanitizer::Builder& LocationSanitizer::Builder::SetLpTimeLimitSeconds(
+    double seconds) {
+  lp_time_limit_seconds_ = seconds;
+  return *this;
+}
+
 StatusOr<LocationSanitizer> LocationSanitizer::Builder::Build() {
   if (!region_set_) {
     return Status::FailedPrecondition("SetRegionLatLon was not called");
@@ -107,12 +113,16 @@ StatusOr<LocationSanitizer> LocationSanitizer::Builder::Build() {
   MsmOptions options;
   options.budget.rho = rho_;
   options.metric = metric_;
+  if (lp_time_limit_seconds_ > 0.0) {
+    options.opt.solver.time_limit_seconds = lp_time_limit_seconds_;
+  }
   GEOPRIV_ASSIGN_OR_RETURN(
       MultiStepMechanism msm,
       MultiStepMechanism::Create(eps_, index, prior, options));
   return LocationSanitizer(
       projection, domain,
-      std::make_unique<MultiStepMechanism>(std::move(msm)), seed_);
+      std::make_unique<MultiStepMechanism>(std::move(msm)), seed_,
+      granularity_, eps_);
 }
 
 geo::Point LocationSanitizer::Sanitize(geo::Point actual) {
@@ -121,6 +131,30 @@ geo::Point LocationSanitizer::Sanitize(geo::Point actual) {
 
 LatLon LocationSanitizer::SanitizeLatLon(double lat, double lon) {
   const geo::Point reported = Sanitize(projection_.Forward(lat, lon));
+  LatLon out;
+  projection_.Inverse(reported, &out.lat, &out.lon);
+  return out;
+}
+
+StatusOr<geo::Point> LocationSanitizer::SanitizeOrStatus(geo::Point actual) {
+  return SanitizeOrStatus(actual, rng_);
+}
+
+StatusOr<LatLon> LocationSanitizer::SanitizeLatLonOrStatus(double lat,
+                                                           double lon) {
+  return SanitizeLatLonOrStatus(lat, lon, rng_);
+}
+
+StatusOr<geo::Point> LocationSanitizer::SanitizeOrStatus(
+    geo::Point actual, rng::Rng& rng) const {
+  return msm_->ReportOrStatus(domain_km_.Clamp(actual), rng);
+}
+
+StatusOr<LatLon> LocationSanitizer::SanitizeLatLonOrStatus(
+    double lat, double lon, rng::Rng& rng) const {
+  GEOPRIV_ASSIGN_OR_RETURN(
+      const geo::Point reported,
+      SanitizeOrStatus(projection_.Forward(lat, lon), rng));
   LatLon out;
   projection_.Inverse(reported, &out.lat, &out.lon);
   return out;

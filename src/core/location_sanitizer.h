@@ -52,6 +52,10 @@ class LocationSanitizer {
     Builder& AddCheckinsLatLon(const std::vector<LatLon>& checkins);
     Builder& SetSeed(uint64_t seed);
     Builder& SetUtilityMetric(geo::UtilityMetric metric);
+    // Wall-clock cap per node LP solve (default: unlimited). With a cap
+    // set, use the *OrStatus sanitize variants: a solve that exceeds it
+    // fails with kDeadlineExceeded instead of completing.
+    Builder& SetLpTimeLimitSeconds(double seconds);
 
     StatusOr<LocationSanitizer> Build();
 
@@ -65,36 +69,66 @@ class LocationSanitizer {
     std::vector<LatLon> checkins_;
     uint64_t seed_ = 0x5EED5EED5EEDull;
     geo::UtilityMetric metric_ = geo::UtilityMetric::kEuclidean;
+    double lp_time_limit_seconds_ = 0.0;  // 0 = unlimited
   };
 
   // Sanitizes one coordinate pair. Coordinates outside the configured
-  // region are clamped to it first.
+  // region are clamped to it first. Aborts on mechanism failure — which
+  // cannot happen with the default (unlimited) solver options; callers
+  // that configure LP limits must use the *OrStatus variants instead.
   LatLon SanitizeLatLon(double lat, double lon);
 
   // Planar-kilometre variant (the frame used by the experiment harness).
   geo::Point Sanitize(geo::Point actual);
 
+  // Status-returning variants: solver limits (e.g. an LP time limit
+  // configured for serving deadlines) surface as kDeadlineExceeded /
+  // kResourceExhausted instead of aborting the process.
+  StatusOr<geo::Point> SanitizeOrStatus(geo::Point actual);
+  StatusOr<LatLon> SanitizeLatLonOrStatus(double lat, double lon);
+
+  // External-Rng variants for concurrent callers: thread-safe as long as
+  // each thread passes its own Rng (the mechanism's node cache is shared
+  // and synchronized). The internal-Rng overloads above are not
+  // thread-safe — they all draw from the builder-seeded member Rng.
+  StatusOr<geo::Point> SanitizeOrStatus(geo::Point actual,
+                                        rng::Rng& rng) const;
+  StatusOr<LatLon> SanitizeLatLonOrStatus(double lat, double lon,
+                                          rng::Rng& rng) const;
+
   // The privacy budget split the cost model chose.
   const BudgetAllocation& budget() const { return msm_->budget(); }
 
   MultiStepMechanism& mechanism() { return *msm_; }
+  const MultiStepMechanism& mechanism() const { return *msm_; }
   const geo::EquirectangularProjection& projection() const {
     return projection_;
   }
+  // Study region in the planar km frame.
+  const geo::BBox& domain_km() const { return domain_km_; }
+  // Index fanout per axis; the effective leaf grid is granularity^height
+  // cells per axis.
+  int granularity() const { return granularity_; }
+  double epsilon() const { return eps_; }
 
  private:
   LocationSanitizer(geo::EquirectangularProjection projection,
                     geo::BBox domain_km,
-                    std::unique_ptr<MultiStepMechanism> msm, uint64_t seed)
+                    std::unique_ptr<MultiStepMechanism> msm, uint64_t seed,
+                    int granularity, double eps)
       : projection_(projection),
         domain_km_(domain_km),
         msm_(std::move(msm)),
-        rng_(seed) {}
+        rng_(seed),
+        granularity_(granularity),
+        eps_(eps) {}
 
   geo::EquirectangularProjection projection_;
   geo::BBox domain_km_;
   std::unique_ptr<MultiStepMechanism> msm_;
   rng::Rng rng_;
+  int granularity_ = 4;
+  double eps_ = 0.0;
 };
 
 }  // namespace geopriv::core

@@ -21,15 +21,17 @@ StatusOr<MultiStepMechanism> MultiStepMechanism::Create(
                             std::move(budget));
 }
 
-StatusOr<mechanisms::OptimalMechanism*>
-MultiStepMechanism::NodeMechanism(spatial::NodeIndex node, int level) {
-  if (options_.cache_nodes) {
-    auto it = cache_.find(node);
-    if (it != cache_.end()) {
-      ++stats_.cache_hits;
-      return it->second.get();
-    }
-  }
+MsmStats MultiStepMechanism::stats() const {
+  MsmStats snapshot;
+  snapshot.lp_solves = stats_->lp_solves.load(std::memory_order_relaxed);
+  snapshot.lp_seconds = stats_->lp_seconds.load(std::memory_order_relaxed);
+  snapshot.cache_hits = stats_->cache_hits.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+StatusOr<std::unique_ptr<mechanisms::OptimalMechanism>>
+MultiStepMechanism::BuildNodeMechanism(spatial::NodeIndex node,
+                                       int level) const {
   const std::vector<spatial::ChildInfo> children = index_->Children(node);
   std::vector<geo::Point> centers;
   std::vector<geo::BBox> boxes;
@@ -47,29 +49,35 @@ MultiStepMechanism::NodeMechanism(spatial::NodeIndex node, int level) {
       mechanisms::OptimalMechanism::Create(budget_.per_level[level - 1],
                                            std::move(centers), node_prior,
                                            options_.metric, options_.opt));
-  ++stats_.lp_solves;
-  stats_.lp_seconds += mech.stats().solve_seconds;
-  auto owned =
-      std::make_unique<mechanisms::OptimalMechanism>(std::move(mech));
-  mechanisms::OptimalMechanism* raw = owned.get();
-  if (options_.cache_nodes) {
-    cache_[node] = std::move(owned);
-  } else {
-    // Uncached mode keeps the last mechanism alive until the next call —
-    // enough for the sequential Report() path below.
-    scratch_ = std::move(owned);
-  }
-  return raw;
+  stats_->lp_solves.fetch_add(1, std::memory_order_relaxed);
+  stats_->lp_seconds.fetch_add(mech.stats().solve_seconds,
+                               std::memory_order_relaxed);
+  return std::make_unique<mechanisms::OptimalMechanism>(std::move(mech));
 }
 
-StatusOr<geo::Point> MultiStepMechanism::ReportOrStatus(geo::Point actual,
-                                                        rng::Rng& rng) {
+StatusOr<const mechanisms::OptimalMechanism*>
+MultiStepMechanism::NodeMechanism(spatial::NodeIndex node, int level) const {
+  if (!options_.cache_nodes) {
+    // Uncached mode keeps the last mechanism alive until the next call —
+    // enough for the sequential Report() path below.
+    GEOPRIV_ASSIGN_OR_RETURN(scratch_, BuildNodeMechanism(node, level));
+    return const_cast<const mechanisms::OptimalMechanism*>(scratch_.get());
+  }
+  bool hit = false;
+  auto result = cache_->GetOrCompute(
+      node, [&] { return BuildNodeMechanism(node, level); }, &hit);
+  if (hit) stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+StatusOr<geo::Point> MultiStepMechanism::ReportOrStatus(
+    geo::Point actual, rng::Rng& rng) const {
   spatial::NodeIndex node = spatial::HierarchicalPartition::kRoot;
   geo::Point reported = index_->Bounds(node).Center();
   for (int level = 1; level <= budget_.height(); ++level) {
     if (index_->IsLeaf(node)) break;  // adaptive indexes may bottom out
     const std::vector<spatial::ChildInfo> children = index_->Children(node);
-    GEOPRIV_ASSIGN_OR_RETURN(mechanisms::OptimalMechanism* mech,
+    GEOPRIV_ASSIGN_OR_RETURN(const mechanisms::OptimalMechanism* mech,
                              NodeMechanism(node, level));
     // Snap the actual location to its enclosing child; random if outside
     // the current node (Algorithm 1, lines 9-10).

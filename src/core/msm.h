@@ -11,21 +11,29 @@
 // The leaf-level output's center is reported. By DP composability the whole
 // pipeline satisfies GeoInd with budget sum_i eps_i = eps.
 //
-// Solved per-node LPs are cached: repeated queries that walk through the
-// same node reuse its transition matrix, so the LP cost is paid once per
-// visited node rather than once per query (see MsmOptions::cache_nodes and
-// the micro benches for the effect).
+// Solved per-node LPs are cached in a sharded, thread-safe
+// NodeMechanismCache with singleflight semantics: repeated queries that
+// walk through the same node reuse its transition matrix, so the LP cost
+// is paid once per visited node rather than once per query — even when
+// many threads share one mechanism (see MsmOptions::cache_nodes and the
+// micro/throughput benches for the effect).
+//
+// Thread safety: with cache_nodes = true (the default), ReportOrStatus and
+// Report are safe to call concurrently as long as each thread draws from
+// its own Rng; stats are atomic. With cache_nodes = false the mechanism
+// keeps single-call scratch state and must not be shared across threads.
 
 #ifndef GEOPRIV_CORE_MSM_H_
 #define GEOPRIV_CORE_MSM_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
 #include "core/budget.h"
+#include "core/node_cache.h"
 #include "geo/distance.h"
 #include "mechanisms/mechanism.h"
 #include "mechanisms/optimal.h"
@@ -40,12 +48,15 @@ struct MsmOptions {
   geo::UtilityMetric metric = geo::UtilityMetric::kEuclidean;
   // Reuse solved per-node LPs across queries.
   bool cache_nodes = true;
+  // Shards of the node cache (contention bound under concurrency).
+  int cache_shards = 16;
 };
 
+// Snapshot of the mechanism's counters (see MultiStepMechanism::stats()).
 struct MsmStats {
-  int lp_solves = 0;
+  int64_t lp_solves = 0;
   double lp_seconds = 0.0;
-  int cache_hits = 0;
+  int64_t cache_hits = 0;
 };
 
 class MultiStepMechanism final : public mechanisms::Mechanism {
@@ -56,8 +67,9 @@ class MultiStepMechanism final : public mechanisms::Mechanism {
       double eps, std::shared_ptr<const spatial::HierarchicalPartition> index,
       std::shared_ptr<const prior::Prior> prior, const MsmOptions& options);
 
-  // Status-returning variant (LP time limits surface here).
-  StatusOr<geo::Point> ReportOrStatus(geo::Point actual, rng::Rng& rng);
+  // Status-returning variant (LP time limits surface here). Thread-safe in
+  // cached mode; `rng` must be private to the calling thread.
+  StatusOr<geo::Point> ReportOrStatus(geo::Point actual, rng::Rng& rng) const;
 
   // Mechanism interface; aborts on solver failure (which cannot happen with
   // the default unlimited solver options).
@@ -66,15 +78,27 @@ class MultiStepMechanism final : public mechanisms::Mechanism {
 
   const BudgetAllocation& budget() const { return budget_; }
   int height() const { return budget_.height(); }
-  const MsmStats& stats() const { return stats_; }
-  size_t cache_size() const { return cache_.size(); }
+  const spatial::HierarchicalPartition& index() const { return *index_; }
+
+  // Consistent snapshot of the atomic counters.
+  MsmStats stats() const;
+  size_t cache_size() const { return cache_->size(); }
+  const NodeMechanismCache& cache() const { return *cache_; }
 
   // Per-node mechanism for audits/tests (built and cached on demand).
   // `level` is the node's depth + 1, i.e. the budget index of its children.
-  StatusOr<mechanisms::OptimalMechanism*> NodeMechanism(
-      spatial::NodeIndex node, int level);
+  StatusOr<const mechanisms::OptimalMechanism*> NodeMechanism(
+      spatial::NodeIndex node, int level) const;
 
  private:
+  // Atomic counterpart of MsmStats; heap-allocated so the mechanism stays
+  // movable (callers move the Create() result into smart pointers).
+  struct AtomicStats {
+    std::atomic<int64_t> lp_solves{0};
+    std::atomic<double> lp_seconds{0.0};
+    std::atomic<int64_t> cache_hits{0};
+  };
+
   MultiStepMechanism(
       double eps, std::shared_ptr<const spatial::HierarchicalPartition> index,
       std::shared_ptr<const prior::Prior> prior, MsmOptions options,
@@ -83,20 +107,25 @@ class MultiStepMechanism final : public mechanisms::Mechanism {
         index_(std::move(index)),
         prior_(std::move(prior)),
         options_(std::move(options)),
-        budget_(std::move(budget)) {}
+        budget_(std::move(budget)),
+        cache_(std::make_unique<NodeMechanismCache>(options_.cache_shards)),
+        stats_(std::make_unique<AtomicStats>()) {}
+
+  // Solves the LP for `node` (no cache involvement).
+  StatusOr<std::unique_ptr<mechanisms::OptimalMechanism>> BuildNodeMechanism(
+      spatial::NodeIndex node, int level) const;
 
   double eps_;
   std::shared_ptr<const spatial::HierarchicalPartition> index_;
   std::shared_ptr<const prior::Prior> prior_;
   MsmOptions options_;
   BudgetAllocation budget_;
-  std::unordered_map<spatial::NodeIndex,
-                     std::unique_ptr<mechanisms::OptimalMechanism>>
-      cache_;
+  std::unique_ptr<NodeMechanismCache> cache_;
   // Holds the most recent mechanism when caching is disabled, keeping the
-  // pointer returned by NodeMechanism() valid until the next call.
-  std::unique_ptr<mechanisms::OptimalMechanism> scratch_;
-  MsmStats stats_;
+  // pointer returned by NodeMechanism() valid until the next call (this
+  // mode is single-threaded by contract).
+  mutable std::unique_ptr<mechanisms::OptimalMechanism> scratch_;
+  std::unique_ptr<AtomicStats> stats_;
 };
 
 }  // namespace geopriv::core

@@ -1,0 +1,107 @@
+#include "core/node_cache.h"
+
+#include <utility>
+
+#include "base/check.h"
+
+namespace geopriv::core {
+
+NodeMechanismCache::NodeMechanismCache(int num_shards)
+    : shards_(static_cast<size_t>(num_shards > 0 ? num_shards : 1)) {}
+
+StatusOr<const mechanisms::OptimalMechanism*>
+NodeMechanismCache::GetOrCompute(spatial::NodeIndex node,
+                                 const Factory& factory, bool* cache_hit) {
+  Shard& shard = ShardFor(node);
+
+  // Fast path: shared-lock lookup; a ready entry needs no further locking.
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(node);
+    if (it != shard.map.end() &&
+        it->second->ready.load(std::memory_order_acquire)) {
+      if (cache_hit != nullptr) *cache_hit = true;
+      if (!it->second->status.ok()) return it->second->status;
+      return const_cast<const mechanisms::OptimalMechanism*>(
+          it->second->mech.get());
+    }
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+
+  // Slow path: claim or join the in-flight build for this node.
+  std::shared_ptr<Entry> entry;
+  bool owner = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(node);
+    if (it == shard.map.end()) {
+      entry = std::make_shared<Entry>();
+      shard.map.emplace(node, entry);
+      owner = true;
+    } else {
+      entry = it->second;
+    }
+  }
+
+  if (!owner) {
+    // Another thread is (or was) building this node: wait for its result.
+    if (!entry->ready.load(std::memory_order_acquire)) {
+      singleflight_waits_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lock(entry->mu);
+      entry->cv.wait(lock, [&] {
+        return entry->ready.load(std::memory_order_acquire);
+      });
+    }
+    if (!entry->status.ok()) return entry->status;
+    return const_cast<const mechanisms::OptimalMechanism*>(entry->mech.get());
+  }
+
+  // We own the build. Run the factory outside every lock so other shards
+  // (and other nodes of this shard, via waiters) stay unblocked.
+  auto built = factory();
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (built.ok()) {
+      entry->mech = std::move(built).value();
+      GEOPRIV_CHECK_MSG(entry->mech != nullptr,
+                        "node factory returned a null mechanism");
+    } else {
+      entry->status = built.status();
+    }
+    entry->ready.store(true, std::memory_order_release);
+  }
+  entry->cv.notify_all();
+
+  if (!entry->status.ok()) {
+    // Drop the failed entry so a later request can retry (waiters keep
+    // their shared_ptr alive until they have read the status).
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(node);
+    if (it != shard.map.end() && it->second == entry) shard.map.erase(it);
+    return entry->status;
+  }
+  return const_cast<const mechanisms::OptimalMechanism*>(entry->mech.get());
+}
+
+size_t NodeMechanismCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [node, entry] : shard.map) {
+      if (entry->ready.load(std::memory_order_acquire) &&
+          entry->status.ok()) {
+        ++total;
+      }
+    }
+  }
+  return total;
+}
+
+void NodeMechanismCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+}
+
+}  // namespace geopriv::core

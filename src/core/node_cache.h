@@ -1,0 +1,87 @@
+// Sharded, thread-safe cache of solved per-node optimal mechanisms with
+// singleflight semantics: when several threads miss on the same node
+// concurrently, exactly one runs the LP factory while the others block on
+// the entry and reuse its result. This is what lets one MultiStepMechanism
+// be shared across a worker pool — the per-node LP is still paid once per
+// visited node, never once per thread.
+//
+// Sharding bounds contention: the node id is hashed onto one of
+// `num_shards` independently locked maps, and the hot read path (cache
+// hit) takes only that shard's shared lock plus one acquire load.
+
+#ifndef GEOPRIV_CORE_NODE_CACHE_H_
+#define GEOPRIV_CORE_NODE_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "mechanisms/optimal.h"
+#include "spatial/hierarchical_partition.h"
+
+namespace geopriv::core {
+
+class NodeMechanismCache {
+ public:
+  using Factory = std::function<
+      StatusOr<std::unique_ptr<mechanisms::OptimalMechanism>>()>;
+
+  explicit NodeMechanismCache(int num_shards = 16);
+
+  NodeMechanismCache(const NodeMechanismCache&) = delete;
+  NodeMechanismCache& operator=(const NodeMechanismCache&) = delete;
+
+  // Returns the cached mechanism for `node`, running `factory` (under
+  // singleflight) to build it on a miss. `*cache_hit` (optional) is set to
+  // whether the value was already present. On factory failure every
+  // waiter receives the same error and the entry is dropped, so a later
+  // call retries.
+  StatusOr<const mechanisms::OptimalMechanism*> GetOrCompute(
+      spatial::NodeIndex node, const Factory& factory,
+      bool* cache_hit = nullptr);
+
+  // Number of completed (successfully built) entries.
+  size_t size() const;
+
+  // Number of times a thread blocked on another thread's in-flight build
+  // (diagnostics for the singleflight tests).
+  uint64_t singleflight_waits() const {
+    return singleflight_waits_.load(std::memory_order_relaxed);
+  }
+
+  void Clear();
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    std::condition_variable cv;
+    // Published with release order once `status`/`mech` are final; the
+    // lock-free hit path reads it with acquire.
+    std::atomic<bool> ready{false};
+    Status status;
+    std::unique_ptr<mechanisms::OptimalMechanism> mech;
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<spatial::NodeIndex, std::shared_ptr<Entry>> map;
+  };
+
+  Shard& ShardFor(spatial::NodeIndex node) {
+    const size_t h = std::hash<spatial::NodeIndex>{}(node);
+    return shards_[h % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> singleflight_waits_{0};
+};
+
+}  // namespace geopriv::core
+
+#endif  // GEOPRIV_CORE_NODE_CACHE_H_

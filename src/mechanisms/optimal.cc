@@ -65,6 +65,7 @@ StatusOr<OptimalMechanism> OptimalMechanism::Create(
   if (n == 1) {
     mech.k_ = {1.0};
     mech.stats_.objective = 0.0;
+    mech.BuildRowSamplers();
     return mech;
   }
   Status solve_status;
@@ -78,7 +79,19 @@ StatusOr<OptimalMechanism> OptimalMechanism::Create(
       break;
   }
   GEOPRIV_RETURN_IF_ERROR(solve_status);
+  mech.BuildRowSamplers();
   return mech;
+}
+
+void OptimalMechanism::BuildRowSamplers() {
+  const int n = num_locations();
+  for (int x = 0; x < n; ++x) {
+    std::vector<double> row(k_.begin() + static_cast<size_t>(x) * n,
+                            k_.begin() + static_cast<size_t>(x + 1) * n);
+    auto sampler = rng::AliasSampler::Create(row);
+    GEOPRIV_CHECK_MSG(sampler.ok(), "row sampler construction failed");
+    row_samplers_[x] = std::move(sampler).value();
+  }
 }
 
 Status OptimalMechanism::SolveColumnGeneration(
@@ -318,16 +331,8 @@ geo::Point OptimalMechanism::Report(geo::Point actual, rng::Rng& rng) {
   return locations_[ReportIndex(IndexOf(actual), rng)];
 }
 
-int OptimalMechanism::ReportIndex(int x, rng::Rng& rng) {
+int OptimalMechanism::ReportIndex(int x, rng::Rng& rng) const {
   GEOPRIV_CHECK_MSG(x >= 0 && x < num_locations(), "index out of range");
-  if (!row_samplers_[x].has_value()) {
-    const int n = num_locations();
-    std::vector<double> row(k_.begin() + static_cast<size_t>(x) * n,
-                            k_.begin() + static_cast<size_t>(x + 1) * n);
-    auto sampler = rng::AliasSampler::Create(row);
-    GEOPRIV_CHECK_MSG(sampler.ok(), "row sampler construction failed");
-    row_samplers_[x] = std::move(sampler).value();
-  }
   return static_cast<int>(row_samplers_[x]->Sample(rng));
 }
 

@@ -78,8 +78,10 @@ class OptimalMechanism final : public Mechanism {
   geo::Point Report(geo::Point actual, rng::Rng& rng) override;
   std::string name() const override { return "OPT"; }
 
-  // Samples a reported index for actual index `x`.
-  int ReportIndex(int x, rng::Rng& rng);
+  // Samples a reported index for actual index `x`. Const — the row
+  // samplers are built eagerly at Create() time — so one solved mechanism
+  // can be shared across threads, each drawing from its own Rng.
+  int ReportIndex(int x, rng::Rng& rng) const;
 
   // Index of the candidate nearest to `p`.
   int IndexOf(geo::Point p) const;
@@ -123,6 +125,7 @@ class OptimalMechanism final : public Mechanism {
   Status SolveColumnGeneration(const OptimalMechanismOptions& options);
   Status SolveFullPrimal(const OptimalMechanismOptions& options);
   void FinalizeMatrix(std::vector<double> raw);
+  void BuildRowSamplers();
 
   double eps_;
   std::vector<geo::Point> locations_;

@@ -1,0 +1,95 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace geopriv::service {
+
+double LatencyHistogram::BucketBound(int i) {
+  return kFirstBoundSeconds * static_cast<double>(1ull << i);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (!(seconds >= 0.0)) seconds = 0.0;
+  int bucket = 0;
+  while (bucket < kNumBuckets - 1 && seconds > BucketBound(bucket)) {
+    ++bucket;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_seconds_.fetch_add(seconds, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t next = seen + counts[i];
+    if (static_cast<double>(next) >= target) {
+      // Linear interpolation inside the bucket's [lower, upper) span.
+      const double lower = i == 0 ? 0.0 : BucketBound(i - 1);
+      const double upper = BucketBound(i);
+      const double within =
+          (target - static_cast<double>(seen)) / counts[i];
+      return lower + within * (upper - lower);
+    }
+    seen = next;
+  }
+  return BucketBound(kNumBuckets - 1);
+}
+
+MetricsSnapshot Metrics::Snapshot() const {
+  MetricsSnapshot s;
+  s.requests_total = requests_total_.load(std::memory_order_relaxed);
+  s.requests_ok = requests_ok_.load(std::memory_order_relaxed);
+  s.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
+  s.requests_failed = requests_failed_.load(std::memory_order_relaxed);
+  s.fallbacks_total = fallbacks_total_.load(std::memory_order_relaxed);
+  s.fallbacks_deadline = fallbacks_deadline_.load(std::memory_order_relaxed);
+  s.fallbacks_mechanism =
+      fallbacks_mechanism_.load(std::memory_order_relaxed);
+  s.latency_count = latency_.count();
+  s.latency_p50_ms = latency_.Quantile(0.50) * 1e3;
+  s.latency_p90_ms = latency_.Quantile(0.90) * 1e3;
+  s.latency_p99_ms = latency_.Quantile(0.99) * 1e3;
+  s.latency_mean_ms =
+      s.latency_count == 0
+          ? 0.0
+          : latency_.total_seconds() / s.latency_count * 1e3;
+  return s;
+}
+
+std::string Metrics::ToJson() const {
+  const MetricsSnapshot s = Snapshot();
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"requests_total\":%llu,\"requests_ok\":%llu,"
+      "\"requests_rejected\":%llu,\"requests_failed\":%llu,"
+      "\"fallbacks_total\":%llu,\"fallbacks_deadline\":%llu,"
+      "\"fallbacks_mechanism\":%llu,\"latency_count\":%llu,"
+      "\"latency_p50_ms\":%.6f,\"latency_p90_ms\":%.6f,"
+      "\"latency_p99_ms\":%.6f,\"latency_mean_ms\":%.6f}",
+      static_cast<unsigned long long>(s.requests_total),
+      static_cast<unsigned long long>(s.requests_ok),
+      static_cast<unsigned long long>(s.requests_rejected),
+      static_cast<unsigned long long>(s.requests_failed),
+      static_cast<unsigned long long>(s.fallbacks_total),
+      static_cast<unsigned long long>(s.fallbacks_deadline),
+      static_cast<unsigned long long>(s.fallbacks_mechanism),
+      static_cast<unsigned long long>(s.latency_count), s.latency_p50_ms,
+      s.latency_p90_ms, s.latency_p99_ms, s.latency_mean_ms);
+  return buf;
+}
+
+}  // namespace geopriv::service

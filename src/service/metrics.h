@@ -1,0 +1,104 @@
+// Lock-free metrics registry for the sanitization service: monotonically
+// increasing atomic counters plus a fixed-bucket latency histogram with
+// quantile extraction. Everything here may be hammered from every worker
+// thread, so there are no locks — only relaxed atomics — and reads produce
+// a consistent-enough snapshot for operational dashboards (counters may be
+// a few events apart, which is the standard trade for contention-free
+// recording).
+
+#ifndef GEOPRIV_SERVICE_METRICS_H_
+#define GEOPRIV_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace geopriv::service {
+
+// Geometric buckets (factor 2) from 1 us up; the last bucket catches
+// everything beyond ~2 minutes. Quantiles interpolate within a bucket, so
+// the resolution error is bounded by the bucket ratio.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 28;
+  static constexpr double kFirstBoundSeconds = 1e-6;
+
+  void Record(double seconds);
+
+  // Quantile estimate in seconds, q in [0, 1]. Returns 0 with no samples.
+  double Quantile(double q) const;
+
+  uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double total_seconds() const {
+    return sum_seconds_.load(std::memory_order_relaxed);
+  }
+
+  // Upper bound (seconds) of bucket i.
+  static double BucketBound(int i);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_seconds_{0.0};
+};
+
+// Plain-struct view of the registry at one instant.
+struct MetricsSnapshot {
+  uint64_t requests_total = 0;    // accepted into the service
+  uint64_t requests_ok = 0;       // completed through the MSM path
+  uint64_t requests_rejected = 0; // refused at admission (queue full)
+  uint64_t requests_failed = 0;   // completed with a non-OK status
+  uint64_t fallbacks_total = 0;       // degraded to planar Laplace
+  uint64_t fallbacks_deadline = 0;    // ... because the deadline expired
+  uint64_t fallbacks_mechanism = 0;   // ... because the MSM path failed
+  uint64_t latency_count = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p90_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+};
+
+class Metrics {
+ public:
+  void RecordAccepted() { Inc(requests_total_); }
+  void RecordRejected() { Inc(requests_rejected_); }
+  void RecordOk() { Inc(requests_ok_); }
+  void RecordFailed() { Inc(requests_failed_); }
+  void RecordDeadlineFallback() {
+    Inc(fallbacks_total_);
+    Inc(fallbacks_deadline_);
+  }
+  void RecordMechanismFallback() {
+    Inc(fallbacks_total_);
+    Inc(fallbacks_mechanism_);
+  }
+  void RecordLatency(double seconds) { latency_.Record(seconds); }
+
+  MetricsSnapshot Snapshot() const;
+
+  // The snapshot as a JSON object (one line, stable key order).
+  std::string ToJson() const;
+
+  const LatencyHistogram& latency() const { return latency_; }
+
+ private:
+  static void Inc(std::atomic<uint64_t>& c) {
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> requests_ok_{0};
+  std::atomic<uint64_t> requests_rejected_{0};
+  std::atomic<uint64_t> requests_failed_{0};
+  std::atomic<uint64_t> fallbacks_total_{0};
+  std::atomic<uint64_t> fallbacks_deadline_{0};
+  std::atomic<uint64_t> fallbacks_mechanism_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace geopriv::service
+
+#endif  // GEOPRIV_SERVICE_METRICS_H_

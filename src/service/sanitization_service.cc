@@ -1,0 +1,325 @@
+#include "service/sanitization_service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "base/check.h"
+#include "spatial/grid.h"
+
+namespace geopriv::service {
+
+namespace {
+
+// Keeps the fallback grid's cell count bounded even for tall indexes
+// (4096^2 cells ~= 17M, still O(1) memory since UniformGrid is implicit).
+constexpr int kMaxFallbackCellsPerAxis = 4096;
+
+}  // namespace
+
+uint64_t SanitizationService::WorkerSeed(uint64_t seed, int worker_id) {
+  // seed ⊕ per-worker stream constant: the golden-gamma multiple spreads
+  // adjacent worker ids across the seed space so the mt19937_64 streams
+  // decorrelate.
+  return seed ^
+         (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(worker_id) + 1));
+}
+
+StatusOr<std::unique_ptr<SanitizationService>> SanitizationService::Create(
+    const ServiceOptions& options) {
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (options.queue_capacity < 1) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (options.default_deadline_ms < 0.0) {
+    return Status::InvalidArgument("default_deadline_ms must be >= 0");
+  }
+  return std::unique_ptr<SanitizationService>(
+      new SanitizationService(options));
+}
+
+SanitizationService::SanitizationService(const ServiceOptions& options)
+    : options_(options) {
+  worker_rngs_.reserve(static_cast<size_t>(options.num_workers));
+  for (int w = 0; w < options.num_workers; ++w) {
+    worker_rngs_.emplace_back(WorkerSeed(options.seed, w));
+  }
+  pool_ = std::make_unique<ThreadPool>(options.num_workers,
+                                       options.queue_capacity);
+}
+
+SanitizationService::~SanitizationService() {
+  Drain();
+  pool_->Shutdown();
+}
+
+Status SanitizationService::RegisterRegion(const std::string& region_id,
+                                           const RegionConfig& config) {
+  if (region_id.empty()) {
+    return Status::InvalidArgument("region id must be non-empty");
+  }
+  core::LocationSanitizer::Builder builder;
+  builder.SetRegionLatLon(config.min_lat, config.min_lon, config.max_lat,
+                          config.max_lon)
+      .SetEpsilon(config.eps)
+      .SetGranularity(config.granularity)
+      .SetRho(config.rho)
+      .SetPriorGranularity(config.prior_granularity)
+      .SetUtilityMetric(config.metric)
+      .SetSeed(options_.seed);
+  if (!config.checkins.empty()) builder.AddCheckinsLatLon(config.checkins);
+  if (config.lp_time_limit_seconds > 0.0) {
+    builder.SetLpTimeLimitSeconds(config.lp_time_limit_seconds);
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(core::LocationSanitizer sanitizer,
+                           builder.Build());
+
+  // Fallback: planar Laplace with the region's whole budget, remapped to
+  // the MSM's effective leaf grid so both paths report at the same
+  // resolution.
+  int leaf = 1;
+  for (int i = 0; i < sanitizer.budget().height(); ++i) {
+    if (leaf > kMaxFallbackCellsPerAxis / sanitizer.granularity()) {
+      leaf = kMaxFallbackCellsPerAxis;
+      break;
+    }
+    leaf *= sanitizer.granularity();
+  }
+  GEOPRIV_ASSIGN_OR_RETURN(
+      mechanisms::PlanarLaplaceOnGrid fallback,
+      mechanisms::PlanarLaplaceOnGrid::Create(
+          config.eps,
+          spatial::UniformGrid(sanitizer.domain_km(), leaf)));
+
+  auto region = std::make_shared<Region>(std::move(sanitizer),
+                                         std::move(fallback), leaf);
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  if (!regions_.emplace(region_id, std::move(region)).second) {
+    return Status::FailedPrecondition("region '" + region_id +
+                                      "' is already registered");
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<SanitizationService::Region> SanitizationService::FindRegion(
+    const std::string& region_id) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  auto it = regions_.find(region_id);
+  return it == regions_.end() ? nullptr : it->second;
+}
+
+void SanitizationService::FinishOne() {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    --inflight_;
+  }
+  inflight_cv_.notify_all();
+}
+
+void SanitizationService::Process(const SanitizeRequest& request,
+                                  const Stopwatch& watch,
+                                  const Callback& done, int worker_id) {
+  SanitizeResult result;
+  result.worker_id = worker_id;
+  rng::Rng& rng = worker_rngs_[static_cast<size_t>(worker_id)];
+
+  const std::shared_ptr<Region> region = FindRegion(request.region_id);
+  if (region == nullptr) {
+    result.status =
+        Status::NotFound("unknown region '" + request.region_id + "'");
+    metrics_.RecordFailed();
+    result.latency_ms = watch.ElapsedMillis();
+    metrics_.RecordLatency(watch.ElapsedSeconds());
+    if (done) done(result);
+    FinishOne();
+    return;
+  }
+
+  const double deadline_ms = request.deadline_ms > 0.0
+                                 ? request.deadline_ms
+                                 : options_.default_deadline_ms;
+  bool fallback = false;
+  if (deadline_ms > 0.0 && watch.ElapsedMillis() >= deadline_ms) {
+    // The deadline burned away in the queue: skip the MSM walk entirely.
+    fallback = true;
+    metrics_.RecordDeadlineFallback();
+  } else {
+    auto sanitized = region->sanitizer.SanitizeLatLonOrStatus(
+        request.location.lat, request.location.lon, rng);
+    if (sanitized.ok()) {
+      result.reported = sanitized.value();
+      metrics_.RecordOk();
+    } else {
+      // Typically kDeadlineExceeded from a capped LP solve. Degrade —
+      // never fail the request over a utility optimization.
+      fallback = true;
+      metrics_.RecordMechanismFallback();
+    }
+  }
+  if (fallback) {
+    const auto& projection = region->sanitizer.projection();
+    const geo::Point actual = region->sanitizer.domain_km().Clamp(
+        projection.Forward(request.location.lat, request.location.lon));
+    const geo::Point reported = region->fallback.Report(actual, rng);
+    projection.Inverse(reported, &result.reported.lat,
+                       &result.reported.lon);
+    result.used_fallback = true;
+  }
+
+  result.latency_ms = watch.ElapsedMillis();
+  metrics_.RecordLatency(watch.ElapsedSeconds());
+  if (done) done(result);
+  FinishOne();
+}
+
+Status SanitizationService::SubmitAsync(SanitizeRequest request,
+                                        Callback done) {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_;
+  }
+  const Stopwatch watch;
+  const bool accepted = pool_->TrySubmit(
+      [this, request = std::move(request), done = std::move(done),
+       watch](int worker_id) { Process(request, watch, done, worker_id); });
+  if (!accepted) {
+    FinishOne();
+    metrics_.RecordRejected();
+    return Status::ResourceExhausted("sanitization queue is full");
+  }
+  metrics_.RecordAccepted();
+  return Status::OK();
+}
+
+std::future<SanitizeResult> SanitizationService::SubmitFuture(
+    SanitizeRequest request) {
+  auto promise = std::make_shared<std::promise<SanitizeResult>>();
+  std::future<SanitizeResult> future = promise->get_future();
+  const Status status =
+      SubmitAsync(std::move(request), [promise](const SanitizeResult& r) {
+        promise->set_value(r);
+      });
+  if (!status.ok()) {
+    SanitizeResult rejected;
+    rejected.status = status;
+    promise->set_value(rejected);
+  }
+  return future;
+}
+
+std::vector<SanitizeResult> SanitizationService::SanitizeBatch(
+    const std::string& region_id,
+    const std::vector<core::LatLon>& locations) {
+  std::vector<SanitizeResult> results(locations.size());
+  if (locations.empty()) return results;
+
+  struct BatchState {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->pending = locations.size();
+
+  for (size_t i = 0; i < locations.size(); ++i) {
+    SanitizeRequest request;
+    request.region_id = region_id;
+    request.location = locations[i];
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      ++inflight_;
+    }
+    const Stopwatch watch;
+    SanitizeResult* slot = &results[i];
+    // Blocking submission: a batch caller asked for the whole batch, so
+    // backpressure turns into producer blocking rather than rejection.
+    const bool submitted = pool_->Submit(
+        [this, request = std::move(request), watch, slot,
+         state](int worker_id) {
+          Process(
+              request, watch,
+              [slot, state](const SanitizeResult& r) {
+                *slot = r;
+                {
+                  std::lock_guard<std::mutex> lock(state->mu);
+                  --state->pending;
+                }
+                state->cv.notify_one();
+              },
+              worker_id);
+        });
+    if (submitted) {
+      metrics_.RecordAccepted();
+    } else {
+      // Pool shut down underneath the batch.
+      FinishOne();
+      metrics_.RecordRejected();
+      slot->status = Status::ResourceExhausted("service is shut down");
+      std::lock_guard<std::mutex> lock(state->mu);
+      --state->pending;
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->pending == 0; });
+  return results;
+}
+
+void SanitizationService::Drain() {
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+StatusOr<SanitizationService::RegionInfo> SanitizationService::GetRegionInfo(
+    const std::string& region_id) const {
+  const std::shared_ptr<Region> region = FindRegion(region_id);
+  if (region == nullptr) {
+    return Status::NotFound("unknown region '" + region_id + "'");
+  }
+  RegionInfo info;
+  info.eps = region->sanitizer.epsilon();
+  info.granularity = region->sanitizer.granularity();
+  info.height = region->sanitizer.budget().height();
+  info.leaf_cells_per_axis = region->leaf_cells_per_axis;
+  info.msm = region->sanitizer.mechanism().stats();
+  info.cache_size = region->sanitizer.mechanism().cache_size();
+  info.singleflight_waits =
+      region->sanitizer.mechanism().cache().singleflight_waits();
+  return info;
+}
+
+std::string SanitizationService::MetricsJson() const {
+  std::string json = "{\"service\":" + metrics_.ToJson() + ",\"regions\":{";
+  std::vector<std::pair<std::string, std::shared_ptr<Region>>> regions;
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mu_);
+    regions.assign(regions_.begin(), regions_.end());
+  }
+  std::sort(regions.begin(), regions.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  bool first = true;
+  for (const auto& [id, region] : regions) {
+    const core::MsmStats stats = region->sanitizer.mechanism().stats();
+    const auto& cache = region->sanitizer.mechanism().cache();
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"%s\":{\"eps\":%.6f,\"height\":%d,\"leaf_cells_per_axis\":%d,"
+        "\"lp_solves\":%lld,\"lp_seconds\":%.6f,\"cache_hits\":%lld,"
+        "\"cache_size\":%zu,\"singleflight_waits\":%llu}",
+        id.c_str(), region->sanitizer.epsilon(),
+        region->sanitizer.budget().height(), region->leaf_cells_per_axis,
+        static_cast<long long>(stats.lp_solves), stats.lp_seconds,
+        static_cast<long long>(stats.cache_hits), cache.size(),
+        static_cast<unsigned long long>(cache.singleflight_waits()));
+    if (!first) json += ",";
+    first = false;
+    json += buf;
+  }
+  json += "}}";
+  return json;
+}
+
+}  // namespace geopriv::service

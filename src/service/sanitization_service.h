@@ -1,0 +1,198 @@
+// SanitizationService: the concurrent serving engine over the library's
+// mechanisms. One process-wide service owns
+//
+//  * a fixed-size worker pool (base/thread_pool.h) fed by a bounded MPMC
+//    queue — admission control rejects submissions when the queue is full
+//    instead of building an unbounded backlog;
+//  * a multi-tenant region registry: one mechanism stack (projection,
+//    prior, hierarchical index, MSM with a shared singleflight node cache)
+//    per study region, keyed by region id;
+//  * one deterministic RNG stream per worker (service seed ⊕ a per-worker
+//    stream constant), so a run is reproducible per worker without any
+//    cross-thread RNG locking;
+//  * graceful degradation: when a request's deadline expires in the queue,
+//    or the MSM path fails (e.g. an LP time limit), the worker falls back
+//    to planar Laplace remapped onto the region's leaf grid. The fallback
+//    spends the same total budget eps in one shot, so the reply still
+//    satisfies eps-GeoInd — it only costs utility, never privacy — and it
+//    is always counted in the metrics, never silent;
+//  * a service::Metrics registry (request/fallback counters + latency
+//    histogram) dumped as JSON by MetricsJson().
+//
+// APIs: blocking SanitizeBatch() fans a batch across the pool and waits;
+// SubmitAsync() enqueues one request with a completion callback;
+// SubmitFuture() is the future-shaped wrapper over the same queue.
+
+#ifndef GEOPRIV_SERVICE_SANITIZATION_SERVICE_H_
+#define GEOPRIV_SERVICE_SANITIZATION_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/stopwatch.h"
+#include "base/thread_pool.h"
+#include "core/location_sanitizer.h"
+#include "mechanisms/planar_laplace.h"
+#include "service/metrics.h"
+
+namespace geopriv::service {
+
+// One study region (tenant). Mirrors LocationSanitizer::Builder's knobs.
+struct RegionConfig {
+  // Lat/lon box: south-west / north-east corners. Required.
+  double min_lat = 0.0, min_lon = 0.0, max_lat = 0.0, max_lon = 0.0;
+  // Total privacy budget (required, > 0).
+  double eps = 0.0;
+  int granularity = 4;
+  double rho = 0.8;
+  int prior_granularity = 128;
+  // Historical check-ins shaping the prior (uniform when empty).
+  std::vector<core::LatLon> checkins;
+  geo::UtilityMetric metric = geo::UtilityMetric::kEuclidean;
+  // Wall-clock cap per node LP solve; a solve that exceeds it makes the
+  // request degrade to the planar-Laplace fallback. 0 = unlimited.
+  double lp_time_limit_seconds = 0.0;
+};
+
+struct ServiceOptions {
+  int num_workers = 4;
+  size_t queue_capacity = 1024;
+  // Base seed; worker w draws from the stream WorkerSeed(seed, w).
+  uint64_t seed = 0x5EED5EED5EEDull;
+  // Applied to requests that do not set their own deadline. 0 = none.
+  double default_deadline_ms = 0.0;
+};
+
+struct SanitizeRequest {
+  std::string region_id;
+  core::LatLon location;
+  // Measured from submission; past it the request degrades to the
+  // planar-Laplace fallback. 0 = use the service default.
+  double deadline_ms = 0.0;
+};
+
+struct SanitizeResult {
+  // Non-OK only when the request could not be served at all (unknown
+  // region, rejected at admission). Fallback replies are OK.
+  Status status;
+  core::LatLon reported;
+  bool used_fallback = false;
+  double latency_ms = 0.0;  // submission -> completion
+  int worker_id = -1;
+};
+
+class SanitizationService {
+ public:
+  using Callback = std::function<void(const SanitizeResult&)>;
+
+  static StatusOr<std::unique_ptr<SanitizationService>> Create(
+      const ServiceOptions& options);
+
+  // Drains in-flight requests and joins the workers.
+  ~SanitizationService();
+
+  SanitizationService(const SanitizationService&) = delete;
+  SanitizationService& operator=(const SanitizationService&) = delete;
+
+  // Builds the region's mechanism stack (prior, index, MSM, fallback).
+  // Fails on invalid config or duplicate id. Cheap at registration — the
+  // per-node LPs are solved lazily (and singleflight) on first traffic.
+  Status RegisterRegion(const std::string& region_id,
+                        const RegionConfig& config);
+
+  // Blocking: fans the batch across the worker pool (bypassing admission
+  // control — batch submission blocks instead of rejecting) and waits for
+  // every result. results[i] corresponds to locations[i]. Must not be
+  // called from a worker thread.
+  std::vector<SanitizeResult> SanitizeBatch(
+      const std::string& region_id,
+      const std::vector<core::LatLon>& locations);
+
+  // Non-blocking: enqueues the request; `done` runs on a worker thread.
+  // Returns kResourceExhausted when the queue is full (backpressure) —
+  // the callback is NOT invoked in that case.
+  Status SubmitAsync(SanitizeRequest request, Callback done);
+
+  // Future-shaped wrapper over SubmitAsync. An admission-rejected request
+  // resolves the future immediately with the rejection status.
+  std::future<SanitizeResult> SubmitFuture(SanitizeRequest request);
+
+  // Blocks until every accepted request has completed.
+  void Drain();
+
+  // Cache/stat introspection for one region.
+  struct RegionInfo {
+    double eps = 0.0;
+    int granularity = 0;
+    int height = 0;
+    int leaf_cells_per_axis = 0;
+    core::MsmStats msm;
+    size_t cache_size = 0;
+    uint64_t singleflight_waits = 0;
+  };
+  StatusOr<RegionInfo> GetRegionInfo(const std::string& region_id) const;
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  // Service counters plus per-region cache stats, as one JSON object.
+  std::string MetricsJson() const;
+
+  // The deterministic seed of worker `worker_id`'s RNG stream.
+  static uint64_t WorkerSeed(uint64_t seed, int worker_id);
+
+  int num_workers() const { return pool_->num_threads(); }
+  size_t queue_capacity() const { return pool_->queue_capacity(); }
+
+ private:
+  struct Region {
+    core::LocationSanitizer sanitizer;
+    // Full-eps planar Laplace remapped to the region's leaf grid: the
+    // degradation path. Stateless after construction; shared by workers.
+    mechanisms::PlanarLaplaceOnGrid fallback;
+    int leaf_cells_per_axis = 0;
+
+    Region(core::LocationSanitizer s, mechanisms::PlanarLaplaceOnGrid f,
+           int leaf)
+        : sanitizer(std::move(s)), fallback(std::move(f)),
+          leaf_cells_per_axis(leaf) {}
+  };
+
+  explicit SanitizationService(const ServiceOptions& options);
+
+  std::shared_ptr<Region> FindRegion(const std::string& region_id) const;
+
+  // Runs on a worker: serves one request end-to-end and fires `done`.
+  void Process(const SanitizeRequest& request, const Stopwatch& watch,
+               const Callback& done, int worker_id);
+
+  void FinishOne();
+
+  ServiceOptions options_;
+  Metrics metrics_;
+
+  mutable std::shared_mutex registry_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Region>> regions_;
+
+  std::vector<rng::Rng> worker_rngs_;  // one per worker, index = worker id
+
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  uint64_t inflight_ = 0;
+
+  // Last member: destroyed (joined) first, while the state above is alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace geopriv::service
+
+#endif  // GEOPRIV_SERVICE_SANITIZATION_SERVICE_H_

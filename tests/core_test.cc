@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -441,6 +442,84 @@ TEST(LocationSanitizerTest, ConfigurationKnobsAreHonored) {
   // rho=0.6 at g=3 over ~20 km needs ~0.3 at level 1, so at least two
   // levels receive budget.
   EXPECT_GE(sanitizer->budget().height(), 2);
+}
+
+TEST(LocationSanitizerTest, HeightCapAndLeafFloorRegression) {
+  // Regression for the Builder's height-cap loop: the chosen index height
+  // must never exceed 10 levels, and (except for degenerate sub-40 m
+  // regions) the effective leaf cell must never undercut the ~40 m floor
+  // that matches GPS accuracy.
+  struct Case {
+    double max_lat, max_lon;  // SW corner fixed at (0, 0)
+    int granularity;
+  };
+  const std::vector<Case> cases = {
+      {0.18, 0.21, 4},   // city-sized (~20 km)
+      {0.05, 0.05, 2},   // small town (~5 km)
+      {18.0, 18.0, 2},   // continental (~2000 km): must hit the cap
+      {18.0, 18.0, 4},
+      {0.9, 0.9, 3},     // state-sized (~100 km)
+  };
+  for (const Case& c : cases) {
+    auto sanitizer = LocationSanitizer::Builder()
+                         .SetRegionLatLon(0.0, 0.0, c.max_lat, c.max_lon)
+                         .SetEpsilon(0.5)
+                         .SetGranularity(c.granularity)
+                         .Build();
+    ASSERT_TRUE(sanitizer.ok()) << c.max_lat << " g=" << c.granularity;
+    // The index height is what the Builder's loop chose; the budget
+    // allocation may use fewer levels but never more.
+    const int height = sanitizer->mechanism().index().height();
+    EXPECT_LE(height, 10) << c.max_lat << " g=" << c.granularity;
+    EXPECT_GE(height, 1);
+    EXPECT_LE(sanitizer->budget().height(), height);
+    const geo::BBox& domain = sanitizer->domain_km();
+    const double max_side = std::max(domain.Width(), domain.Height());
+    double leaf_side = max_side;
+    for (int i = 0; i < height; ++i) leaf_side /= c.granularity;
+    EXPECT_GE(leaf_side, 0.04)
+        << "leaf " << leaf_side << " km undercuts the 40 m floor ("
+        << c.max_lat << " deg, g=" << c.granularity << ", h=" << height
+        << ")";
+  }
+  // The continental case specifically must be stopped by the cap, not the
+  // floor.
+  auto continental = LocationSanitizer::Builder()
+                         .SetRegionLatLon(0.0, 0.0, 18.0, 18.0)
+                         .SetEpsilon(0.5)
+                         .SetGranularity(2)
+                         .Build();
+  ASSERT_TRUE(continental.ok());
+  EXPECT_EQ(continental->mechanism().index().height(), 10);
+}
+
+TEST(LocationSanitizerTest, SanitizeOrStatusMatchesAndSurfacesLpLimits) {
+  // The OrStatus variants are the service's entry point: same output
+  // distribution as Sanitize, but solver limits become Status instead of
+  // aborting.
+  auto ok_sanitizer =
+      LocationSanitizer::Builder()
+          .SetRegionLatLon(30.1927, -97.8698, 30.3723, -97.6618)
+          .SetEpsilon(0.5)
+          .SetSeed(11)
+          .Build();
+  ASSERT_TRUE(ok_sanitizer.ok());
+  rng::Rng rng(99);
+  auto out = ok_sanitizer->SanitizeLatLonOrStatus(30.27, -97.74, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GE(out->lat, 30.19);
+  EXPECT_LE(out->lat, 30.38);
+
+  auto limited =
+      LocationSanitizer::Builder()
+          .SetRegionLatLon(30.1927, -97.8698, 30.3723, -97.6618)
+          .SetEpsilon(0.5)
+          .SetLpTimeLimitSeconds(1e-12)
+          .Build();
+  ASSERT_TRUE(limited.ok());
+  auto failed = limited->SanitizeOrStatus({5.0, 5.0});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(LocationSanitizerTest, CheckinPriorChangesBehavior) {

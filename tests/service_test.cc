@@ -1,0 +1,323 @@
+// Concurrency tests for src/service/: N threads x M queries through one
+// shared SanitizationService. Run them under TSan via
+//   cmake -B build-tsan -DGEOPRIV_SANITIZE=thread
+// to assert data-race freedom (satellite of the service PR).
+
+#include "service/sanitization_service.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/node_cache.h"
+#include "mechanisms/optimal.h"
+
+namespace geopriv::service {
+namespace {
+
+// The paper's Austin study region.
+constexpr double kMinLat = 30.1927, kMinLon = -97.8698;
+constexpr double kMaxLat = 30.3723, kMaxLon = -97.6618;
+
+RegionConfig AustinConfig() {
+  RegionConfig config;
+  config.min_lat = kMinLat;
+  config.min_lon = kMinLon;
+  config.max_lat = kMaxLat;
+  config.max_lon = kMaxLon;
+  config.eps = 0.5;
+  config.granularity = 3;
+  config.prior_granularity = 32;
+  return config;
+}
+
+std::unique_ptr<SanitizationService> MakeService(int workers,
+                                                 size_t capacity = 1024,
+                                                 uint64_t seed = 42) {
+  ServiceOptions options;
+  options.num_workers = workers;
+  options.queue_capacity = capacity;
+  options.seed = seed;
+  auto service = SanitizationService::Create(options);
+  GEOPRIV_CHECK_OK(service.status());
+  return std::move(service).value();
+}
+
+std::vector<core::LatLon> DowntownQueries(int n) {
+  std::vector<core::LatLon> queries;
+  queries.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    queries.push_back({30.2672 + 0.0004 * (i % 13) - 0.002,
+                       -97.7431 - 0.0003 * (i % 11) + 0.0015});
+  }
+  return queries;
+}
+
+bool InRegion(const core::LatLon& p) {
+  // The MSM reports cell centers inside the region; the projection
+  // round-trip can wobble by far less than this slack.
+  constexpr double kSlack = 1e-6;
+  return p.lat >= kMinLat - kSlack && p.lat <= kMaxLat + kSlack &&
+         p.lon >= kMinLon - kSlack && p.lon <= kMaxLon + kSlack;
+}
+
+TEST(SanitizationServiceTest, ConcurrentBatchCompletesAndStaysInRegion) {
+  auto service = MakeService(4);
+  ASSERT_TRUE(service->RegisterRegion("austin", AustinConfig()).ok());
+  const auto queries = DowntownQueries(120);
+  const auto results = service->SanitizeBatch("austin", queries);
+  ASSERT_EQ(results.size(), queries.size());
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_FALSE(r.used_fallback);
+    EXPECT_TRUE(InRegion(r.reported))
+        << r.reported.lat << "," << r.reported.lon;
+    EXPECT_GE(r.worker_id, 0);
+    EXPECT_LT(r.worker_id, 4);
+    EXPECT_GE(r.latency_ms, 0.0);
+  }
+  const MetricsSnapshot m = service->metrics().Snapshot();
+  EXPECT_EQ(m.requests_total, queries.size());
+  EXPECT_EQ(m.requests_ok, queries.size());
+  EXPECT_EQ(m.fallbacks_total, 0u);
+  EXPECT_EQ(m.latency_count, queries.size());
+}
+
+TEST(SanitizationServiceTest, SingleflightSolvesEachNodeOnce) {
+  auto service = MakeService(4);
+  ASSERT_TRUE(service->RegisterRegion("austin", AustinConfig()).ok());
+  // Two cold waves: concurrent misses on the same nodes (the root above
+  // all) must coalesce into exactly one LP solve per visited node.
+  service->SanitizeBatch("austin", DowntownQueries(80));
+  service->SanitizeBatch("austin", DowntownQueries(80));
+  const auto info = service->GetRegionInfo("austin");
+  ASSERT_TRUE(info.ok());
+  EXPECT_GT(info->msm.lp_solves, 0);
+  EXPECT_EQ(static_cast<size_t>(info->msm.lp_solves), info->cache_size)
+      << "a node was solved more than once (singleflight broken)";
+  EXPECT_GT(info->msm.cache_hits, 0);
+}
+
+TEST(SanitizationServiceTest, WorkerStreamsAreDeterministic) {
+  // Same seed + single worker => same processing order and RNG stream =>
+  // bit-identical outputs across two independent service instances.
+  const auto queries = DowntownQueries(40);
+  std::vector<core::LatLon> first, second;
+  for (std::vector<core::LatLon>* out : {&first, &second}) {
+    auto service = MakeService(1, 1024, 20190326);
+    ASSERT_TRUE(service->RegisterRegion("austin", AustinConfig()).ok());
+    for (const auto& r : service->SanitizeBatch("austin", queries)) {
+      ASSERT_TRUE(r.status.ok());
+      out->push_back(r.reported);
+    }
+  }
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i].lat, second[i].lat) << i;
+    EXPECT_DOUBLE_EQ(first[i].lon, second[i].lon) << i;
+  }
+}
+
+TEST(SanitizationServiceTest, WorkerSeedsAreDistinctPerWorker) {
+  std::set<uint64_t> seeds;
+  for (int w = 0; w < 16; ++w) {
+    seeds.insert(SanitizationService::WorkerSeed(12345, w));
+  }
+  EXPECT_EQ(seeds.size(), 16u);
+  EXPECT_EQ(SanitizationService::WorkerSeed(12345, 3),
+            SanitizationService::WorkerSeed(12345, 3));
+}
+
+TEST(SanitizationServiceTest, LpTimeLimitDegradesToPlanarLaplace) {
+  auto service = MakeService(2);
+  RegionConfig config = AustinConfig();
+  config.lp_time_limit_seconds = 1e-12;  // every node solve times out
+  ASSERT_TRUE(service->RegisterRegion("austin", config).ok());
+  const auto results = service->SanitizeBatch("austin", DowntownQueries(20));
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(r.used_fallback);
+    EXPECT_TRUE(InRegion(r.reported));
+  }
+  const MetricsSnapshot m = service->metrics().Snapshot();
+  EXPECT_EQ(m.fallbacks_total, 20u);
+  EXPECT_EQ(m.fallbacks_mechanism, 20u);
+  EXPECT_EQ(m.fallbacks_deadline, 0u);
+}
+
+TEST(SanitizationServiceTest, ExpiredDeadlineDegradesWithoutMsmWork) {
+  auto service = MakeService(1);
+  ASSERT_TRUE(service->RegisterRegion("austin", AustinConfig()).ok());
+  SanitizeRequest request;
+  request.region_id = "austin";
+  request.location = {30.2672, -97.7431};
+  request.deadline_ms = 1e-6;  // expires before any worker can dequeue it
+  auto future = service->SubmitFuture(request);
+  const SanitizeResult r = future.get();
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.used_fallback);
+  EXPECT_TRUE(InRegion(r.reported));
+  const MetricsSnapshot m = service->metrics().Snapshot();
+  EXPECT_EQ(m.fallbacks_deadline, 1u);
+  const auto info = service->GetRegionInfo("austin");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->msm.lp_solves, 0) << "deadline fallback ran the MSM";
+}
+
+TEST(SanitizationServiceTest, BackpressureRejectsWhenQueueIsFull) {
+  auto service = MakeService(1, /*capacity=*/1);
+  ASSERT_TRUE(service->RegisterRegion("austin", AustinConfig()).ok());
+  std::atomic<int> completed{0};
+  int accepted = 0, rejected = 0;
+  // Cold cache: the first request parks the worker in an LP solve, so a
+  // burst must overflow the size-1 queue.
+  for (int i = 0; i < 200; ++i) {
+    const Status s = service->SubmitAsync(
+        {"austin", {30.2672, -97.7431}, 0.0},
+        [&completed](const SanitizeResult&) { ++completed; });
+    if (s.ok()) {
+      ++accepted;
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  service->Drain();
+  EXPECT_EQ(accepted + rejected, 200);
+  EXPECT_GT(rejected, 0) << "queue of capacity 1 never filled";
+  EXPECT_EQ(completed.load(), accepted);
+  const MetricsSnapshot m = service->metrics().Snapshot();
+  EXPECT_EQ(m.requests_total, static_cast<uint64_t>(accepted));
+  EXPECT_EQ(m.requests_rejected, static_cast<uint64_t>(rejected));
+}
+
+TEST(SanitizationServiceTest, UnknownRegionFailsTheRequestNotTheService) {
+  auto service = MakeService(2);
+  auto future = service->SubmitFuture({"nowhere", {1.0, 2.0}, 0.0});
+  const SanitizeResult r = future.get();
+  EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(service->metrics().Snapshot().requests_failed, 1u);
+}
+
+TEST(SanitizationServiceTest, DuplicateRegionRegistrationFails) {
+  auto service = MakeService(1);
+  ASSERT_TRUE(service->RegisterRegion("austin", AustinConfig()).ok());
+  EXPECT_FALSE(service->RegisterRegion("austin", AustinConfig()).ok());
+}
+
+TEST(SanitizationServiceTest, MultiTenantRegionsAreIndependent) {
+  auto service = MakeService(4);
+  ASSERT_TRUE(service->RegisterRegion("austin", AustinConfig()).ok());
+  RegionConfig vegas = AustinConfig();
+  vegas.min_lat = 36.0;
+  vegas.min_lon = -115.35;
+  vegas.max_lat = 36.32;
+  vegas.max_lon = -115.05;
+  ASSERT_TRUE(service->RegisterRegion("vegas", vegas).ok());
+
+  std::vector<std::thread> clients;
+  std::atomic<int> bad{0};
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      const std::string id = c == 0 ? "austin" : "vegas";
+      const double lat = c == 0 ? 30.27 : 36.17;
+      const double lon = c == 0 ? -97.74 : -115.14;
+      for (const auto& r : service->SanitizeBatch(
+               id, std::vector<core::LatLon>(30, {lat, lon}))) {
+        if (!r.status.ok() || r.used_fallback) ++bad;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_TRUE(service->GetRegionInfo("austin").ok());
+  EXPECT_TRUE(service->GetRegionInfo("vegas").ok());
+}
+
+TEST(SanitizationServiceTest, MetricsJsonContainsServiceAndRegions) {
+  auto service = MakeService(2);
+  ASSERT_TRUE(service->RegisterRegion("austin", AustinConfig()).ok());
+  service->SanitizeBatch("austin", DowntownQueries(10));
+  const std::string json = service->MetricsJson();
+  EXPECT_NE(json.find("\"service\""), std::string::npos);
+  EXPECT_NE(json.find("\"requests_total\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"austin\""), std::string::npos);
+  EXPECT_NE(json.find("\"lp_solves\""), std::string::npos);
+}
+
+// --- NodeMechanismCache: direct singleflight semantics ---
+
+StatusOr<std::unique_ptr<mechanisms::OptimalMechanism>> TinyMechanism() {
+  GEOPRIV_ASSIGN_OR_RETURN(
+      mechanisms::OptimalMechanism mech,
+      mechanisms::OptimalMechanism::Create(
+          1.0, {{0.0, 0.0}, {1.0, 0.0}}, {0.5, 0.5},
+          geo::UtilityMetric::kEuclidean));
+  return std::make_unique<mechanisms::OptimalMechanism>(std::move(mech));
+}
+
+TEST(NodeMechanismCacheTest, ConcurrentMissesRunFactoryOnce) {
+  core::NodeMechanismCache cache(4);
+  std::atomic<int> factory_calls{0};
+  std::atomic<const mechanisms::OptimalMechanism*> shared_ptr_seen{nullptr};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      auto result = cache.GetOrCompute(7, [&] {
+        ++factory_calls;
+        // Widen the race window so every thread really does pile up on
+        // the in-flight entry.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return TinyMechanism();
+      });
+      ASSERT_TRUE(result.ok());
+      const mechanisms::OptimalMechanism* expected = nullptr;
+      if (!shared_ptr_seen.compare_exchange_strong(expected,
+                                                   result.value())) {
+        if (expected != result.value()) ++mismatches;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(factory_calls.load(), 1);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(NodeMechanismCacheTest, FailedBuildPropagatesAndAllowsRetry) {
+  core::NodeMechanismCache cache(2);
+  auto failing = cache.GetOrCompute(3, [] {
+    return StatusOr<std::unique_ptr<mechanisms::OptimalMechanism>>(
+        Status::DeadlineExceeded("boom"));
+  });
+  EXPECT_EQ(failing.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(cache.size(), 0u);
+  auto retry = cache.GetOrCompute(3, [] { return TinyMechanism(); });
+  EXPECT_TRUE(retry.ok());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(NodeMechanismCacheTest, DistinctNodesDoNotCollide) {
+  core::NodeMechanismCache cache(4);
+  for (spatial::NodeIndex node = 0; node < 32; ++node) {
+    bool hit = true;
+    auto r = cache.GetOrCompute(node, [] { return TinyMechanism(); }, &hit);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(hit);
+  }
+  EXPECT_EQ(cache.size(), 32u);
+  bool hit = false;
+  ASSERT_TRUE(cache.GetOrCompute(5, [] { return TinyMechanism(); }, &hit)
+                  .ok());
+  EXPECT_TRUE(hit);
+}
+
+}  // namespace
+}  // namespace geopriv::service

@@ -1,0 +1,125 @@
+#include "base/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace geopriv {
+namespace {
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_TRUE(q.TryPush(3));
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedQueueTest, TryPushFailsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full: admission control kicks in
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_TRUE(q.TryPush(3));  // space again
+}
+
+TEST(BoundedQueueTest, CloseDrainsRemainingItems) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.TryPush(7));
+  q.Close();
+  EXPECT_FALSE(q.TryPush(8));  // closed: rejected
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));  // ... but existing items drain
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(q.Pop(&v));  // closed and empty
+}
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4, 64);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(pool.Submit([&count](int) { ++count; }));
+    }
+  }  // destructor drains and joins
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreStableAndInRange) {
+  std::mutex mu;
+  std::set<int> seen;
+  {
+    ThreadPool pool(3, 64);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&](int worker_id) {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.insert(worker_id);
+      });
+    }
+  }
+  ASSERT_FALSE(seen.empty());
+  EXPECT_GE(*seen.begin(), 0);
+  EXPECT_LT(*seen.rbegin(), 3);
+}
+
+TEST(ThreadPoolTest, TrySubmitAppliesBackpressure) {
+  // One worker blocked on a gate + a full queue => TrySubmit must fail.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+
+  ThreadPool pool(1, 2);
+  pool.Submit([&](int) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  // Wait until the worker has dequeued the gate task, then fill the queue.
+  while (pool.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(pool.TrySubmit([](int) {}));
+  EXPECT_TRUE(pool.TrySubmit([](int) {}));
+  EXPECT_FALSE(pool.TrySubmit([](int) {}));  // queue full
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(2, 8);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([](int) {}));
+  EXPECT_FALSE(pool.TrySubmit([](int) {}));
+}
+
+TEST(ThreadPoolTest, ConcurrentProducers) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4, 32);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        pool.Submit([&count](int) { ++count; });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 400);
+}
+
+}  // namespace
+}  // namespace geopriv
