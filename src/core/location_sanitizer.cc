@@ -63,6 +63,12 @@ LocationSanitizer::Builder& LocationSanitizer::Builder::SetLpTimeLimitSeconds(
   return *this;
 }
 
+LocationSanitizer::Builder& LocationSanitizer::Builder::SetCacheByteBudget(
+    size_t bytes) {
+  cache_byte_budget_ = bytes;
+  return *this;
+}
+
 StatusOr<LocationSanitizer> LocationSanitizer::Builder::Build() {
   if (!region_set_) {
     return Status::FailedPrecondition("SetRegionLatLon was not called");
@@ -113,6 +119,7 @@ StatusOr<LocationSanitizer> LocationSanitizer::Builder::Build() {
   MsmOptions options;
   options.budget.rho = rho_;
   options.metric = metric_;
+  options.cache_byte_budget = cache_byte_budget_;
   if (lp_time_limit_seconds_ > 0.0) {
     options.opt.solver.time_limit_seconds = lp_time_limit_seconds_;
   }

@@ -16,6 +16,7 @@
 #ifndef GEOPRIV_CORE_LOCATION_SANITIZER_H_
 #define GEOPRIV_CORE_LOCATION_SANITIZER_H_
 
+#include <cstddef>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -56,6 +57,10 @@ class LocationSanitizer {
     // set, use the *OrStatus sanitize variants: a solve that exceeds it
     // fails with kDeadlineExceeded instead of completing.
     Builder& SetLpTimeLimitSeconds(double seconds);
+    // Byte budget for the resident per-node OPT matrices; past it the
+    // node cache evicts least-recently-used unpinned entries (in-use
+    // mechanisms are never freed under a reader). 0 = unbounded.
+    Builder& SetCacheByteBudget(size_t bytes);
 
     StatusOr<LocationSanitizer> Build();
 
@@ -70,6 +75,7 @@ class LocationSanitizer {
     uint64_t seed_ = 0x5EED5EED5EEDull;
     geo::UtilityMetric metric_ = geo::UtilityMetric::kEuclidean;
     double lp_time_limit_seconds_ = 0.0;  // 0 = unlimited
+    size_t cache_byte_budget_ = 0;        // 0 = unbounded
   };
 
   // Sanitizes one coordinate pair. Coordinates outside the configured
@@ -95,6 +101,14 @@ class LocationSanitizer {
                                         rng::Rng& rng) const;
   StatusOr<LatLon> SanitizeLatLonOrStatus(double lat, double lon,
                                           rng::Rng& rng) const;
+
+  // Pre-solves the LPs of the `k` internal index nodes with the largest
+  // prior mass (root-down), so first traffic hits a warm cache. Safe to
+  // call concurrently with sanitize traffic. Returns the number of nodes
+  // now resident.
+  StatusOr<int> PrewarmTopNodes(int k) const {
+    return msm_->PrewarmTopNodes(k);
+  }
 
   // The privacy budget split the cost model chose.
   const BudgetAllocation& budget() const { return msm_->budget(); }

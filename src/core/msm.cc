@@ -1,5 +1,6 @@
 #include "core/msm.h"
 
+#include <queue>
 #include <utility>
 
 #include "base/check.h"
@@ -26,6 +27,10 @@ MsmStats MultiStepMechanism::stats() const {
   snapshot.lp_solves = stats_->lp_solves.load(std::memory_order_relaxed);
   snapshot.lp_seconds = stats_->lp_seconds.load(std::memory_order_relaxed);
   snapshot.cache_hits = stats_->cache_hits.load(std::memory_order_relaxed);
+  snapshot.cache_evictions = static_cast<int64_t>(cache_->evictions());
+  snapshot.cache_bytes_resident =
+      static_cast<int64_t>(cache_->bytes_resident());
+  snapshot.cache_hit_rate = cache_->hit_rate();
   return snapshot;
 }
 
@@ -55,19 +60,57 @@ MultiStepMechanism::BuildNodeMechanism(spatial::NodeIndex node,
   return std::make_unique<mechanisms::OptimalMechanism>(std::move(mech));
 }
 
-StatusOr<const mechanisms::OptimalMechanism*>
+StatusOr<NodeMechanismCache::MechanismPtr>
 MultiStepMechanism::NodeMechanism(spatial::NodeIndex node, int level) const {
   if (!options_.cache_nodes) {
-    // Uncached mode keeps the last mechanism alive until the next call —
-    // enough for the sequential Report() path below.
+    // Uncached mode: the caller co-owns the freshly built mechanism, so
+    // the sequential Report() path (and any test holding the pointer)
+    // stays valid past the next call.
     GEOPRIV_ASSIGN_OR_RETURN(scratch_, BuildNodeMechanism(node, level));
-    return const_cast<const mechanisms::OptimalMechanism*>(scratch_.get());
+    return scratch_;
   }
   bool hit = false;
   auto result = cache_->GetOrCompute(
       node, [&] { return BuildNodeMechanism(node, level); }, &hit);
   if (hit) stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
   return result;
+}
+
+StatusOr<int> MultiStepMechanism::PrewarmTopNodes(int k) const {
+  if (!options_.cache_nodes) {
+    return Status::FailedPrecondition(
+        "PrewarmTopNodes requires cache_nodes");
+  }
+  if (k <= 0) return 0;
+  // Best-first walk by unconditional prior mass. Expanding only popped
+  // nodes guarantees every warmed node's ancestors are warmed first (a
+  // node's mass never exceeds its parent's), matching what a query
+  // through that node will touch.
+  struct Candidate {
+    double mass;
+    spatial::NodeIndex node;
+    int level;
+    bool operator<(const Candidate& other) const {
+      return mass < other.mass;
+    }
+  };
+  std::priority_queue<Candidate> frontier;
+  if (!index_->IsLeaf(spatial::HierarchicalPartition::kRoot)) {
+    frontier.push({1.0, spatial::HierarchicalPartition::kRoot, 1});
+  }
+  int warmed = 0;
+  while (!frontier.empty() && warmed < k) {
+    const Candidate top = frontier.top();
+    frontier.pop();
+    GEOPRIV_RETURN_IF_ERROR(NodeMechanism(top.node, top.level).status());
+    ++warmed;
+    if (top.level + 1 > budget_.height()) continue;
+    for (const spatial::ChildInfo& child : index_->Children(top.node)) {
+      if (index_->IsLeaf(child.id)) continue;
+      frontier.push({prior_->MassIn(child.bounds), child.id, top.level + 1});
+    }
+  }
+  return warmed;
 }
 
 StatusOr<geo::Point> MultiStepMechanism::ReportOrStatus(
@@ -77,7 +120,7 @@ StatusOr<geo::Point> MultiStepMechanism::ReportOrStatus(
   for (int level = 1; level <= budget_.height(); ++level) {
     if (index_->IsLeaf(node)) break;  // adaptive indexes may bottom out
     const std::vector<spatial::ChildInfo> children = index_->Children(node);
-    GEOPRIV_ASSIGN_OR_RETURN(const mechanisms::OptimalMechanism* mech,
+    GEOPRIV_ASSIGN_OR_RETURN(const NodeMechanismCache::MechanismPtr mech,
                              NodeMechanism(node, level));
     // Snap the actual location to its enclosing child; random if outside
     // the current node (Algorithm 1, lines 9-10).

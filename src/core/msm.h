@@ -50,6 +50,9 @@ struct MsmOptions {
   bool cache_nodes = true;
   // Shards of the node cache (contention bound under concurrency).
   int cache_shards = 16;
+  // Byte budget for the node cache's resident OPT matrices; past it the
+  // cache evicts least-recently-used unpinned entries. 0 = unbounded.
+  size_t cache_byte_budget = 0;
 };
 
 // Snapshot of the mechanism's counters (see MultiStepMechanism::stats()).
@@ -57,6 +60,9 @@ struct MsmStats {
   int64_t lp_solves = 0;
   double lp_seconds = 0.0;
   int64_t cache_hits = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_bytes_resident = 0;
+  double cache_hit_rate = 0.0;
 };
 
 class MultiStepMechanism final : public mechanisms::Mechanism {
@@ -84,11 +90,22 @@ class MultiStepMechanism final : public mechanisms::Mechanism {
   MsmStats stats() const;
   size_t cache_size() const { return cache_->size(); }
   const NodeMechanismCache& cache() const { return *cache_; }
+  NodeMechanismCache& cache() { return *cache_; }
 
   // Per-node mechanism for audits/tests (built and cached on demand).
   // `level` is the node's depth + 1, i.e. the budget index of its children.
-  StatusOr<const mechanisms::OptimalMechanism*> NodeMechanism(
+  // The returned pointer pins the mechanism: it stays valid however long
+  // the caller holds it, across cache Clear()/eviction.
+  StatusOr<NodeMechanismCache::MechanismPtr> NodeMechanism(
       spatial::NodeIndex node, int level) const;
+
+  // Pre-solves the LPs of (up to) the `k` internal nodes with the largest
+  // prior mass, walking the index root-down so a warmed node's ancestors
+  // are warmed too. Goes through the cache's singleflight path, so it is
+  // safe to run concurrently with live traffic (e.g. from a background
+  // warmer). Returns the number of nodes now resident (hits included).
+  // Requires cache_nodes; fails fast otherwise.
+  StatusOr<int> PrewarmTopNodes(int k) const;
 
  private:
   // Atomic counterpart of MsmStats; heap-allocated so the mechanism stays
@@ -108,7 +125,8 @@ class MultiStepMechanism final : public mechanisms::Mechanism {
         prior_(std::move(prior)),
         options_(std::move(options)),
         budget_(std::move(budget)),
-        cache_(std::make_unique<NodeMechanismCache>(options_.cache_shards)),
+        cache_(std::make_unique<NodeMechanismCache>(
+            options_.cache_shards, options_.cache_byte_budget)),
         stats_(std::make_unique<AtomicStats>()) {}
 
   // Solves the LP for `node` (no cache involvement).
@@ -121,10 +139,10 @@ class MultiStepMechanism final : public mechanisms::Mechanism {
   MsmOptions options_;
   BudgetAllocation budget_;
   std::unique_ptr<NodeMechanismCache> cache_;
-  // Holds the most recent mechanism when caching is disabled, keeping the
-  // pointer returned by NodeMechanism() valid until the next call (this
-  // mode is single-threaded by contract).
-  mutable std::unique_ptr<mechanisms::OptimalMechanism> scratch_;
+  // Holds the most recent mechanism when caching is disabled; callers of
+  // NodeMechanism() co-own it, so their pointer outlives the next call
+  // even in this mode (which is single-threaded by contract).
+  mutable NodeMechanismCache::MechanismPtr scratch_;
   std::unique_ptr<AtomicStats> stats_;
 };
 

@@ -1,18 +1,20 @@
 #include "core/node_cache.h"
 
+#include <limits>
 #include <utility>
 
 #include "base/check.h"
 
 namespace geopriv::core {
 
-NodeMechanismCache::NodeMechanismCache(int num_shards)
-    : shards_(static_cast<size_t>(num_shards > 0 ? num_shards : 1)) {}
+NodeMechanismCache::NodeMechanismCache(int num_shards, size_t byte_budget)
+    : shards_(static_cast<size_t>(num_shards > 0 ? num_shards : 1)),
+      byte_budget_(byte_budget) {}
 
-StatusOr<const mechanisms::OptimalMechanism*>
-NodeMechanismCache::GetOrCompute(spatial::NodeIndex node,
-                                 const Factory& factory, bool* cache_hit) {
+StatusOr<NodeMechanismCache::MechanismPtr> NodeMechanismCache::GetOrCompute(
+    spatial::NodeIndex node, const Factory& factory, bool* cache_hit) {
   Shard& shard = ShardFor(node);
+  lookups_.fetch_add(1, std::memory_order_relaxed);
 
   // Fast path: shared-lock lookup; a ready entry needs no further locking.
   {
@@ -21,9 +23,10 @@ NodeMechanismCache::GetOrCompute(spatial::NodeIndex node,
     if (it != shard.map.end() &&
         it->second->ready.load(std::memory_order_acquire)) {
       if (cache_hit != nullptr) *cache_hit = true;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       if (!it->second->status.ok()) return it->second->status;
-      return const_cast<const mechanisms::OptimalMechanism*>(
-          it->second->mech.get());
+      it->second->last_used.store(NextTick(), std::memory_order_relaxed);
+      return it->second->mech;
     }
   }
   if (cache_hit != nullptr) *cache_hit = false;
@@ -45,6 +48,8 @@ NodeMechanismCache::GetOrCompute(spatial::NodeIndex node,
 
   if (!owner) {
     // Another thread is (or was) building this node: wait for its result.
+    // Our Entry handle keeps the result alive even if the entry is
+    // evicted or cleared while we wait.
     if (!entry->ready.load(std::memory_order_acquire)) {
       singleflight_waits_.fetch_add(1, std::memory_order_relaxed);
       std::unique_lock<std::mutex> lock(entry->mu);
@@ -53,7 +58,7 @@ NodeMechanismCache::GetOrCompute(spatial::NodeIndex node,
       });
     }
     if (!entry->status.ok()) return entry->status;
-    return const_cast<const mechanisms::OptimalMechanism*>(entry->mech.get());
+    return entry->mech;
   }
 
   // We own the build. Run the factory outside every lock so other shards
@@ -62,7 +67,7 @@ NodeMechanismCache::GetOrCompute(spatial::NodeIndex node,
   {
     std::lock_guard<std::mutex> lock(entry->mu);
     if (built.ok()) {
-      entry->mech = std::move(built).value();
+      entry->mech = MechanismPtr(std::move(built).value());
       GEOPRIV_CHECK_MSG(entry->mech != nullptr,
                         "node factory returned a null mechanism");
     } else {
@@ -74,13 +79,79 @@ NodeMechanismCache::GetOrCompute(spatial::NodeIndex node,
 
   if (!entry->status.ok()) {
     // Drop the failed entry so a later request can retry (waiters keep
-    // their shared_ptr alive until they have read the status).
+    // their Entry handle alive until they have read the status).
     std::unique_lock<std::shared_mutex> lock(shard.mu);
     auto it = shard.map.find(node);
     if (it != shard.map.end() && it->second == entry) shard.map.erase(it);
     return entry->status;
   }
-  return const_cast<const mechanisms::OptimalMechanism*>(entry->mech.get());
+
+  // Charge the completed entry, unless Clear() raced the build away (then
+  // the mechanism lives only as long as callers hold it and is never
+  // resident).
+  const size_t bytes = entry->mech->MemoryFootprintBytes();
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(node);
+    if (it != shard.map.end() && it->second == entry) {
+      entry->bytes = bytes;
+      entry->last_used.store(NextTick(), std::memory_order_relaxed);
+      bytes_resident_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+  }
+  if (byte_budget_ > 0) EvictToBudget();
+  return entry->mech;
+}
+
+bool NodeMechanismCache::Evictable(const std::shared_ptr<Entry>& entry) {
+  return entry->ready.load(std::memory_order_acquire) &&
+         entry->status.ok() && entry->bytes > 0 &&
+         entry.use_count() == 1 && entry->mech.use_count() == 1;
+}
+
+bool NodeMechanismCache::TryEvictOne() {
+  // Phase 1: find the globally least-recently-used evictable entry.
+  size_t best_shard = shards_.size();
+  spatial::NodeIndex best_node = 0;
+  uint64_t best_tick = std::numeric_limits<uint64_t>::max();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::shared_lock<std::shared_mutex> lock(shards_[s].mu);
+    for (const auto& [node, entry] : shards_[s].map) {
+      if (!Evictable(entry)) continue;
+      const uint64_t t = entry->last_used.load(std::memory_order_relaxed);
+      if (t < best_tick) {
+        best_tick = t;
+        best_shard = s;
+        best_node = node;
+      }
+    }
+  }
+  if (best_shard == shards_.size()) return false;
+
+  // Phase 2: re-validate under the unique lock (the entry may have been
+  // hit, pinned, or already evicted since phase 1) and erase. Returning
+  // true without progress is fine — the caller's attempt loop is bounded.
+  Shard& shard = shards_[best_shard];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(best_node);
+  if (it == shard.map.end() || !Evictable(it->second)) return true;
+  bytes_resident_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  shard.map.erase(it);
+  return true;
+}
+
+void NodeMechanismCache::EvictToBudget() {
+  // The attempt bound keeps a pathological race (entries re-pinned
+  // between the two phases forever) from spinning; in practice one pass
+  // per over-budget entry suffices.
+  const int max_attempts = 64 + 2 * static_cast<int>(shards_.size());
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (bytes_resident_.load(std::memory_order_relaxed) <= byte_budget_) {
+      return;
+    }
+    if (!TryEvictOne()) return;  // everything left is pinned or in flight
+  }
 }
 
 size_t NodeMechanismCache::size() const {
@@ -100,6 +171,11 @@ size_t NodeMechanismCache::size() const {
 void NodeMechanismCache::Clear() {
   for (Shard& shard : shards_) {
     std::unique_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [node, entry] : shard.map) {
+      if (entry->bytes > 0) {
+        bytes_resident_.fetch_sub(entry->bytes, std::memory_order_relaxed);
+      }
+    }
     shard.map.clear();
   }
 }

@@ -349,6 +349,17 @@ int OptimalMechanism::IndexOf(geo::Point p) const {
   return best;
 }
 
+size_t OptimalMechanism::MemoryFootprintBytes() const {
+  size_t bytes = k_.capacity() * sizeof(double) +
+                 locations_.capacity() * sizeof(geo::Point) +
+                 prior_.capacity() * sizeof(double) +
+                 row_samplers_.capacity() * sizeof(row_samplers_[0]);
+  for (const auto& sampler : row_samplers_) {
+    if (sampler.has_value()) bytes += sampler->MemoryFootprintBytes();
+  }
+  return bytes;
+}
+
 double OptimalMechanism::AverageSelfMapping() const {
   double avg = 0.0;
   for (int x = 0; x < num_locations(); ++x) {

@@ -114,6 +114,12 @@ class OptimalMechanism final : public Mechanism {
 
   const OptSolveStats& stats() const { return stats_; }
 
+  // Approximate heap footprint of the solved mechanism: the dense n x n
+  // matrix K plus the per-row alias tables and candidate/prior vectors.
+  // This is what NodeMechanismCache charges an entry against its byte
+  // budget.
+  size_t MemoryFootprintBytes() const;
+
  private:
   OptimalMechanism(double eps, std::vector<geo::Point> locations,
                    std::vector<double> prior, geo::UtilityMetric metric)

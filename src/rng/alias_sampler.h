@@ -30,6 +30,13 @@ class AliasSampler {
   // Normalized probability of index i (for testing/inspection).
   double probability(size_t i) const { return normalized_[i]; }
 
+  // Heap bytes held by the three tables (cache byte accounting).
+  size_t MemoryFootprintBytes() const {
+    return prob_.capacity() * sizeof(double) +
+           alias_.capacity() * sizeof(size_t) +
+           normalized_.capacity() * sizeof(double);
+  }
+
  private:
   AliasSampler(std::vector<double> prob, std::vector<size_t> alias,
                std::vector<double> normalized)

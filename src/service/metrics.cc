@@ -11,7 +11,11 @@ double LatencyHistogram::BucketBound(int i) {
 }
 
 void LatencyHistogram::Record(double seconds) {
-  if (!(seconds >= 0.0)) seconds = 0.0;
+  if (!(seconds >= 0.0)) {
+    seconds = 0.0;  // NaN or negative
+  } else if (!std::isfinite(seconds)) {
+    seconds = BucketBound(kNumBuckets - 1);  // +inf: clamp, don't poison
+  }
   int bucket = 0;
   while (bucket < kNumBuckets - 1 && seconds > BucketBound(bucket)) {
     ++bucket;
@@ -58,6 +62,7 @@ MetricsSnapshot Metrics::Snapshot() const {
   s.fallbacks_deadline = fallbacks_deadline_.load(std::memory_order_relaxed);
   s.fallbacks_mechanism =
       fallbacks_mechanism_.load(std::memory_order_relaxed);
+  s.deadline_overruns = deadline_overruns_.load(std::memory_order_relaxed);
   s.latency_count = latency_.count();
   s.latency_p50_ms = latency_.Quantile(0.50) * 1e3;
   s.latency_p90_ms = latency_.Quantile(0.90) * 1e3;
@@ -77,7 +82,8 @@ std::string Metrics::ToJson() const {
       "{\"requests_total\":%llu,\"requests_ok\":%llu,"
       "\"requests_rejected\":%llu,\"requests_failed\":%llu,"
       "\"fallbacks_total\":%llu,\"fallbacks_deadline\":%llu,"
-      "\"fallbacks_mechanism\":%llu,\"latency_count\":%llu,"
+      "\"fallbacks_mechanism\":%llu,\"deadline_overruns\":%llu,"
+      "\"latency_count\":%llu,"
       "\"latency_p50_ms\":%.6f,\"latency_p90_ms\":%.6f,"
       "\"latency_p99_ms\":%.6f,\"latency_mean_ms\":%.6f}",
       static_cast<unsigned long long>(s.requests_total),
@@ -87,9 +93,49 @@ std::string Metrics::ToJson() const {
       static_cast<unsigned long long>(s.fallbacks_total),
       static_cast<unsigned long long>(s.fallbacks_deadline),
       static_cast<unsigned long long>(s.fallbacks_mechanism),
+      static_cast<unsigned long long>(s.deadline_overruns),
       static_cast<unsigned long long>(s.latency_count), s.latency_p50_ms,
       s.latency_p90_ms, s.latency_p99_ms, s.latency_mean_ms);
   return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          out += esc;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace geopriv::service

@@ -24,6 +24,9 @@ class LatencyHistogram {
   static constexpr int kNumBuckets = 28;
   static constexpr double kFirstBoundSeconds = 1e-6;
 
+  // Corrupt samples are clamped, never dropped and never poisonous:
+  // NaN/negative count as 0, +inf as the top bucket bound (so one bad
+  // sample cannot make sum_seconds_ — and every later mean — non-finite).
   void Record(double seconds);
 
   // Quantile estimate in seconds, q in [0, 1]. Returns 0 with no samples.
@@ -54,6 +57,9 @@ struct MetricsSnapshot {
   uint64_t fallbacks_total = 0;       // degraded to planar Laplace
   uint64_t fallbacks_deadline = 0;    // ... because the deadline expired
   uint64_t fallbacks_mechanism = 0;   // ... because the MSM path failed
+  // Served through the MSM path but finished past the deadline (the
+  // budget was already spent, so the reply is still returned).
+  uint64_t deadline_overruns = 0;
   uint64_t latency_count = 0;
   double latency_p50_ms = 0.0;
   double latency_p90_ms = 0.0;
@@ -75,6 +81,7 @@ class Metrics {
     Inc(fallbacks_total_);
     Inc(fallbacks_mechanism_);
   }
+  void RecordDeadlineOverrun() { Inc(deadline_overruns_); }
   void RecordLatency(double seconds) { latency_.Record(seconds); }
 
   MetricsSnapshot Snapshot() const;
@@ -96,8 +103,13 @@ class Metrics {
   std::atomic<uint64_t> fallbacks_total_{0};
   std::atomic<uint64_t> fallbacks_deadline_{0};
   std::atomic<uint64_t> fallbacks_mechanism_{0};
+  std::atomic<uint64_t> deadline_overruns_{0};
   LatencyHistogram latency_;
 };
+
+// Escapes `s` for embedding inside a JSON string literal: quote,
+// backslash, and control characters become their \-sequences.
+std::string JsonEscape(const std::string& s);
 
 }  // namespace geopriv::service
 

@@ -60,6 +60,22 @@ Status SanitizationService::RegisterRegion(const std::string& region_id,
   if (region_id.empty()) {
     return Status::InvalidArgument("region id must be non-empty");
   }
+  // Reserve the id before the build: a duplicate registration — including
+  // a concurrent one — fails here without paying seconds of LP/prior
+  // work, and two racing registrations of the same id build only once.
+  {
+    std::unique_lock<std::shared_mutex> lock(registry_mu_);
+    if (!regions_.emplace(region_id, nullptr).second) {
+      return Status::FailedPrecondition("region '" + region_id +
+                                        "' is already registered");
+    }
+  }
+  // From here on, every failure path must release the reservation.
+  const auto release = [&] {
+    std::unique_lock<std::shared_mutex> lock(registry_mu_);
+    regions_.erase(region_id);
+  };
+
   core::LocationSanitizer::Builder builder;
   builder.SetRegionLatLon(config.min_lat, config.min_lon, config.max_lat,
                           config.max_lon)
@@ -68,38 +84,50 @@ Status SanitizationService::RegisterRegion(const std::string& region_id,
       .SetRho(config.rho)
       .SetPriorGranularity(config.prior_granularity)
       .SetUtilityMetric(config.metric)
-      .SetSeed(options_.seed);
+      .SetSeed(options_.seed)
+      .SetCacheByteBudget(config.cache_byte_budget);
   if (!config.checkins.empty()) builder.AddCheckinsLatLon(config.checkins);
   if (config.lp_time_limit_seconds > 0.0) {
     builder.SetLpTimeLimitSeconds(config.lp_time_limit_seconds);
   }
-  GEOPRIV_ASSIGN_OR_RETURN(core::LocationSanitizer sanitizer,
-                           builder.Build());
+  auto sanitizer = builder.Build();
+  if (!sanitizer.ok()) {
+    release();
+    return sanitizer.status();
+  }
 
   // Fallback: planar Laplace with the region's whole budget, remapped to
   // the MSM's effective leaf grid so both paths report at the same
   // resolution.
   int leaf = 1;
-  for (int i = 0; i < sanitizer.budget().height(); ++i) {
-    if (leaf > kMaxFallbackCellsPerAxis / sanitizer.granularity()) {
+  for (int i = 0; i < sanitizer->budget().height(); ++i) {
+    if (leaf > kMaxFallbackCellsPerAxis / sanitizer->granularity()) {
       leaf = kMaxFallbackCellsPerAxis;
       break;
     }
-    leaf *= sanitizer.granularity();
+    leaf *= sanitizer->granularity();
   }
-  GEOPRIV_ASSIGN_OR_RETURN(
-      mechanisms::PlanarLaplaceOnGrid fallback,
-      mechanisms::PlanarLaplaceOnGrid::Create(
-          config.eps,
-          spatial::UniformGrid(sanitizer.domain_km(), leaf)));
+  auto fallback = mechanisms::PlanarLaplaceOnGrid::Create(
+      config.eps, spatial::UniformGrid(sanitizer->domain_km(), leaf));
+  if (!fallback.ok()) {
+    release();
+    return fallback.status();
+  }
 
-  auto region = std::make_shared<Region>(std::move(sanitizer),
-                                         std::move(fallback), leaf);
-  std::unique_lock<std::shared_mutex> lock(registry_mu_);
-  if (!regions_.emplace(region_id, std::move(region)).second) {
-    return Status::FailedPrecondition("region '" + region_id +
-                                      "' is already registered");
+  auto region = std::make_shared<Region>(std::move(sanitizer).value(),
+                                         std::move(fallback).value(), leaf);
+  if (config.prewarm_nodes > 0) {
+    // Best-effort: a failed prewarm solve (e.g. an LP time limit) means
+    // lazy solving — and, if that keeps failing, the planar-Laplace
+    // degradation path — not a failed registration.
+    auto warmed = region->sanitizer.PrewarmTopNodes(config.prewarm_nodes);
+    region->prewarmed_nodes = warmed.ok() ? warmed.value() : 0;
   }
+
+  // Fill the reservation. The slot still holds our nullptr: only the
+  // reserving call may publish into or erase it.
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  regions_[region_id] = std::move(region);
   return Status::OK();
 }
 
@@ -107,6 +135,7 @@ std::shared_ptr<SanitizationService::Region> SanitizationService::FindRegion(
     const std::string& region_id) const {
   std::shared_lock<std::shared_mutex> lock(registry_mu_);
   auto it = regions_.find(region_id);
+  // A nullptr value is a registration in progress — not yet servable.
   return it == regions_.end() ? nullptr : it->second;
 }
 
@@ -151,6 +180,14 @@ void SanitizationService::Process(const SanitizeRequest& request,
     if (sanitized.ok()) {
       result.reported = sanitized.value();
       metrics_.RecordOk();
+      // Re-check after the walk: a request that blew its deadline
+      // mid-walk must not be reported as an on-time success. The reply is
+      // still served — the privacy budget was already spent — but the
+      // overrun is visible to the caller and the dashboards.
+      if (deadline_ms > 0.0 && watch.ElapsedMillis() >= deadline_ms) {
+        result.deadline_overrun = true;
+        metrics_.RecordDeadlineOverrun();
+      }
     } else {
       // Typically kDeadlineExceeded from a capped LP solve. Degrade —
       // never fail the request over a utility optimization.
@@ -257,8 +294,14 @@ std::vector<SanitizeResult> SanitizationService::SanitizeBatch(
       FinishOne();
       metrics_.RecordRejected();
       slot->status = Status::ResourceExhausted("service is shut down");
-      std::lock_guard<std::mutex> lock(state->mu);
-      --state->pending;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        --state->pending;
+      }
+      // Without this notify, a rejection that lands after the producer
+      // has started waiting (e.g. on a re-entrant or future multi-
+      // producer batch path) would strand it forever.
+      state->cv.notify_one();
     }
   }
 
@@ -270,6 +313,14 @@ std::vector<SanitizeResult> SanitizationService::SanitizeBatch(
 void SanitizationService::Drain() {
   std::unique_lock<std::mutex> lock(inflight_mu_);
   inflight_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+void SanitizationService::Shutdown() {
+  // Close the queue first so blocked batch producers fail over to the
+  // rejection path instead of keeping the drain alive, then wait for the
+  // already-accepted work.
+  pool_->Shutdown();
+  Drain();
 }
 
 StatusOr<SanitizationService::RegionInfo> SanitizationService::GetRegionInfo(
@@ -284,9 +335,15 @@ StatusOr<SanitizationService::RegionInfo> SanitizationService::GetRegionInfo(
   info.height = region->sanitizer.budget().height();
   info.leaf_cells_per_axis = region->leaf_cells_per_axis;
   info.msm = region->sanitizer.mechanism().stats();
+  const core::NodeMechanismCache& cache =
+      region->sanitizer.mechanism().cache();
   info.cache_size = region->sanitizer.mechanism().cache_size();
-  info.singleflight_waits =
-      region->sanitizer.mechanism().cache().singleflight_waits();
+  info.cache_bytes_resident = cache.bytes_resident();
+  info.cache_byte_budget = cache.byte_budget();
+  info.cache_evictions = cache.evictions();
+  info.cache_hit_rate = cache.hit_rate();
+  info.singleflight_waits = cache.singleflight_waits();
+  info.prewarmed_nodes = region->prewarmed_nodes;
   return info;
 }
 
@@ -301,21 +358,32 @@ std::string SanitizationService::MetricsJson() const {
             [](const auto& a, const auto& b) { return a.first < b.first; });
   bool first = true;
   for (const auto& [id, region] : regions) {
+    if (region == nullptr) continue;  // registration in progress
     const core::MsmStats stats = region->sanitizer.mechanism().stats();
     const auto& cache = region->sanitizer.mechanism().cache();
-    char buf[320];
+    // The numeric tail has a fixed shape, so snprintf is safe for it; the
+    // id is arbitrary caller data and goes through JsonEscape into a
+    // growable string (a 400-char id with quotes must survive intact).
+    char buf[512];
     std::snprintf(
         buf, sizeof(buf),
-        "\"%s\":{\"eps\":%.6f,\"height\":%d,\"leaf_cells_per_axis\":%d,"
+        "{\"eps\":%.6f,\"height\":%d,\"leaf_cells_per_axis\":%d,"
         "\"lp_solves\":%lld,\"lp_seconds\":%.6f,\"cache_hits\":%lld,"
-        "\"cache_size\":%zu,\"singleflight_waits\":%llu}",
-        id.c_str(), region->sanitizer.epsilon(),
-        region->sanitizer.budget().height(), region->leaf_cells_per_axis,
+        "\"cache_size\":%zu,\"cache_bytes_resident\":%zu,"
+        "\"cache_byte_budget\":%zu,\"cache_evictions\":%llu,"
+        "\"cache_hit_rate\":%.6f,\"prewarmed_nodes\":%d,"
+        "\"singleflight_waits\":%llu}",
+        region->sanitizer.epsilon(), region->sanitizer.budget().height(),
+        region->leaf_cells_per_axis,
         static_cast<long long>(stats.lp_solves), stats.lp_seconds,
         static_cast<long long>(stats.cache_hits), cache.size(),
+        cache.bytes_resident(), cache.byte_budget(),
+        static_cast<unsigned long long>(cache.evictions()),
+        cache.hit_rate(), region->prewarmed_nodes,
         static_cast<unsigned long long>(cache.singleflight_waits()));
     if (!first) json += ",";
     first = false;
+    json += "\"" + JsonEscape(id) + "\":";
     json += buf;
   }
   json += "}}";

@@ -61,6 +61,15 @@ struct RegionConfig {
   // Wall-clock cap per node LP solve; a solve that exceeds it makes the
   // request degrade to the planar-Laplace fallback. 0 = unlimited.
   double lp_time_limit_seconds = 0.0;
+  // Byte budget for the region's resident per-node OPT matrices; past it
+  // the node cache evicts least-recently-used unpinned entries (a matrix
+  // in use by a worker is pinned and never freed under it). 0 = unbounded.
+  size_t cache_byte_budget = 0;
+  // Pre-solve the LPs of this many top-prior-mass index nodes at
+  // registration time, so first traffic hits a warm cache. Best-effort:
+  // a prewarm solve failure (e.g. an LP time limit) degrades to lazy
+  // solving instead of failing the registration. 0 = off.
+  int prewarm_nodes = 0;
 };
 
 struct ServiceOptions {
@@ -86,6 +95,10 @@ struct SanitizeResult {
   Status status;
   core::LatLon reported;
   bool used_fallback = false;
+  // Served through the MSM path but completed past the request's
+  // deadline (the budget was already spent, so the reply is returned
+  // anyway; also counted in Metrics::deadline_overruns).
+  bool deadline_overrun = false;
   double latency_ms = 0.0;  // submission -> completion
   int worker_id = -1;
 };
@@ -104,8 +117,11 @@ class SanitizationService {
   SanitizationService& operator=(const SanitizationService&) = delete;
 
   // Builds the region's mechanism stack (prior, index, MSM, fallback).
-  // Fails on invalid config or duplicate id. Cheap at registration — the
-  // per-node LPs are solved lazily (and singleflight) on first traffic.
+  // Fails on invalid config or duplicate id. The id is reserved *before*
+  // the (potentially expensive) build, so a duplicate — sequential or
+  // concurrent — fails fast without paying the build; the reservation is
+  // released if the build fails. Per-node LPs are solved lazily on first
+  // traffic unless `config.prewarm_nodes` asks for warmup here.
   Status RegisterRegion(const std::string& region_id,
                         const RegionConfig& config);
 
@@ -129,6 +145,12 @@ class SanitizationService {
   // Blocks until every accepted request has completed.
   void Drain();
 
+  // Graceful stop: closes the queue (blocked batch producers and new
+  // submissions are rejected with kResourceExhausted), runs what is
+  // already queued, joins the workers. Idempotent; also run by the
+  // destructor.
+  void Shutdown();
+
   // Cache/stat introspection for one region.
   struct RegionInfo {
     double eps = 0.0;
@@ -137,7 +159,13 @@ class SanitizationService {
     int leaf_cells_per_axis = 0;
     core::MsmStats msm;
     size_t cache_size = 0;
+    size_t cache_bytes_resident = 0;
+    size_t cache_byte_budget = 0;
+    uint64_t cache_evictions = 0;
+    double cache_hit_rate = 0.0;
     uint64_t singleflight_waits = 0;
+    // Nodes pre-solved at registration (0 when prewarm was off).
+    int prewarmed_nodes = 0;
   };
   StatusOr<RegionInfo> GetRegionInfo(const std::string& region_id) const;
 
@@ -160,6 +188,7 @@ class SanitizationService {
     // degradation path. Stateless after construction; shared by workers.
     mechanisms::PlanarLaplaceOnGrid fallback;
     int leaf_cells_per_axis = 0;
+    int prewarmed_nodes = 0;
 
     Region(core::LocationSanitizer s, mechanisms::PlanarLaplaceOnGrid f,
            int leaf)
@@ -180,6 +209,9 @@ class SanitizationService {
   ServiceOptions options_;
   Metrics metrics_;
 
+  // A nullptr value is a *reservation*: RegisterRegion is building that
+  // region. Lookups treat it as absent; only the reserving call may fill
+  // or erase it.
   mutable std::shared_mutex registry_mu_;
   std::unordered_map<std::string, std::shared_ptr<Region>> regions_;
 

@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <set>
 #include <string>
@@ -251,6 +253,185 @@ TEST(SanitizationServiceTest, MetricsJsonContainsServiceAndRegions) {
   EXPECT_NE(json.find("\"lp_solves\""), std::string::npos);
 }
 
+TEST(SanitizationServiceTest, MetricsJsonEscapesHostileRegionIds) {
+  // A 400-char region id full of quotes and backslashes must come back
+  // escaped and untruncated (the old fixed 320-byte snprintf buffer
+  // chopped it and emitted invalid JSON).
+  std::string hostile;
+  while (hostile.size() < 400) hostile += R"(a"b\c)";
+  hostile.resize(400);
+  auto service = MakeService(1);
+  ASSERT_TRUE(service->RegisterRegion(hostile, AustinConfig()).ok());
+  const std::string json = service->MetricsJson();
+  std::string escaped;
+  for (char c : hostile) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    escaped += c;
+  }
+  EXPECT_NE(json.find("\"" + escaped + "\":{"), std::string::npos)
+      << "escaped id missing or truncated";
+  EXPECT_EQ(json.find(hostile), std::string::npos)
+      << "raw unescaped id leaked into the JSON";
+  // Quotes must balance — a quick structural sanity check that the
+  // document was not cut mid-string.
+  int quotes = 0;
+  for (size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '"' && (i == 0 || json[i - 1] != '\\')) ++quotes;
+  }
+  EXPECT_EQ(quotes % 2, 0);
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(SanitizationServiceTest, FailedRegistrationReleasesTheReservedId) {
+  auto service = MakeService(1);
+  RegionConfig bad = AustinConfig();
+  bad.eps = 0.0;  // invalid: the build fails after the id was reserved
+  EXPECT_FALSE(service->RegisterRegion("austin", bad).ok());
+  // The reservation must not leak: the same id registers cleanly now.
+  EXPECT_TRUE(service->RegisterRegion("austin", AustinConfig()).ok());
+  EXPECT_TRUE(service->GetRegionInfo("austin").ok());
+}
+
+TEST(SanitizationServiceTest, ConcurrentDuplicateRegistrationBuildsOnce) {
+  auto service = MakeService(2);
+  std::atomic<int> ok_count{0}, dup_count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      const Status s = service->RegisterRegion("austin", AustinConfig());
+      if (s.ok()) {
+        ++ok_count;
+      } else {
+        EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition)
+            << s.ToString();
+        ++dup_count;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // The id is reserved before the expensive build, so exactly one racer
+  // wins and the losers fail fast instead of building and then colliding.
+  EXPECT_EQ(ok_count.load(), 1);
+  EXPECT_EQ(dup_count.load(), 3);
+  const auto results =
+      service->SanitizeBatch("austin", DowntownQueries(10));
+  for (const auto& r : results) EXPECT_TRUE(r.status.ok());
+}
+
+TEST(SanitizationServiceTest, ShutdownMidBatchUnblocksTheProducer) {
+  // A batch producer blocked on the full queue must fail over to the
+  // rejection path (which notifies the batch's condition variable) when
+  // the service shuts down — never hang.
+  auto service = MakeService(1, /*capacity=*/1);
+  RegionConfig config = AustinConfig();
+  config.granularity = 6;  // large root LP: the worker parks for a while
+  ASSERT_TRUE(service->RegisterRegion("austin", config).ok());
+  std::vector<SanitizeResult> results;
+  std::thread producer([&] {
+    results = service->SanitizeBatch(
+        "austin", std::vector<core::LatLon>(64, {30.2672, -97.7431}));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  service->Shutdown();
+  producer.join();  // regression: hangs here without the rejection notify
+  ASSERT_EQ(results.size(), 64u);
+  int rejected = 0;
+  for (const auto& r : results) {
+    if (!r.status.ok()) {
+      EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  // Not asserted > 0: on a machine fast enough to drain the batch before
+  // Shutdown lands, everything legitimately completes.
+  EXPECT_LE(rejected, 64);
+}
+
+TEST(SanitizationServiceTest, DeadlineOverrunMidWalkIsServedAndCounted) {
+  // A deadline that survives the queue but expires inside the MSM walk:
+  // the reply is still served (budget already spent), not degraded, and
+  // the overrun is visible in the result and the metrics. Cold caches
+  // make the walk slow (root LP with 36 candidates); the loop retries
+  // with a fresh service in case scheduling noise burned the deadline in
+  // the queue instead.
+  bool observed = false;
+  for (int attempt = 0; attempt < 10 && !observed; ++attempt) {
+    auto service = MakeService(1);
+    RegionConfig config = AustinConfig();
+    config.granularity = 6;
+    ASSERT_TRUE(service->RegisterRegion("austin", config).ok());
+    SanitizeRequest request;
+    request.region_id = "austin";
+    request.location = {30.2672, -97.7431};
+    request.deadline_ms = 2.0;
+    const SanitizeResult r = service->SubmitFuture(request).get();
+    ASSERT_TRUE(r.status.ok());
+    if (r.used_fallback) continue;  // deadline died in the queue: retry
+    ASSERT_TRUE(r.deadline_overrun)
+        << "cold 36-candidate walk finished under 2ms?";
+    EXPECT_GE(r.latency_ms, 2.0);
+    EXPECT_EQ(service->metrics().Snapshot().deadline_overruns, 1u);
+    observed = true;
+  }
+  EXPECT_TRUE(observed)
+      << "never observed a mid-walk overrun in 10 attempts";
+}
+
+TEST(SanitizationServiceTest, PrewarmSolvesTopNodesBeforeTraffic) {
+  auto service = MakeService(2);
+  RegionConfig config = AustinConfig();
+  config.prewarm_nodes = 3;
+  ASSERT_TRUE(service->RegisterRegion("austin", config).ok());
+  auto info = service->GetRegionInfo("austin");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->prewarmed_nodes, 3);
+  EXPECT_EQ(info->msm.lp_solves, 3);
+  EXPECT_EQ(info->cache_size, 3u);
+  EXPECT_GT(info->cache_bytes_resident, 0u);
+  // The root is warmed first (it has the largest mass by construction),
+  // so the first query's level-1 step is a guaranteed hit.
+  service->SanitizeBatch("austin", DowntownQueries(1));
+  info = service->GetRegionInfo("austin");
+  ASSERT_TRUE(info.ok());
+  EXPECT_GT(info->msm.cache_hits, 0);
+}
+
+TEST(SanitizationServiceTest, BoundedRegionCacheReportsEvictions) {
+  auto service = MakeService(2);
+  RegionConfig config = AustinConfig();
+  config.cache_byte_budget = 8 * 1024;  // a couple of 9-candidate entries
+  ASSERT_TRUE(service->RegisterRegion("austin", config).ok());
+  service->SanitizeBatch("austin", DowntownQueries(200));
+  const auto info = service->GetRegionInfo("austin");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->cache_byte_budget, 8u * 1024u);
+  EXPECT_LE(info->msm.cache_bytes_resident,
+            static_cast<int64_t>(info->cache_byte_budget) + 4096);
+  const std::string json = service->MetricsJson();
+  EXPECT_NE(json.find("\"cache_bytes_resident\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_evictions\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hit_rate\""), std::string::npos);
+}
+
+TEST(MetricsTest, InfiniteLatencySampleDoesNotPoisonTheMean) {
+  Metrics metrics;
+  metrics.RecordLatency(std::numeric_limits<double>::infinity());
+  metrics.RecordLatency(1e-3);
+  const MetricsSnapshot s = metrics.Snapshot();
+  EXPECT_EQ(s.latency_count, 2u);
+  EXPECT_TRUE(std::isfinite(s.latency_mean_ms));
+  EXPECT_TRUE(std::isfinite(s.latency_p99_ms));
+  // The corrupt sample lands in the top bucket instead of vanishing.
+  EXPECT_LE(metrics.latency().total_seconds(),
+            LatencyHistogram::BucketBound(LatencyHistogram::kNumBuckets - 1) +
+                1.0);
+  // NaN and negative stay clamped to zero as before.
+  metrics.RecordLatency(std::numeric_limits<double>::quiet_NaN());
+  metrics.RecordLatency(-5.0);
+  EXPECT_TRUE(std::isfinite(metrics.latency().total_seconds()));
+  EXPECT_EQ(metrics.latency().count(), 4u);
+}
+
 // --- NodeMechanismCache: direct singleflight semantics ---
 
 StatusOr<std::unique_ptr<mechanisms::OptimalMechanism>> TinyMechanism() {
@@ -265,7 +446,7 @@ StatusOr<std::unique_ptr<mechanisms::OptimalMechanism>> TinyMechanism() {
 TEST(NodeMechanismCacheTest, ConcurrentMissesRunFactoryOnce) {
   core::NodeMechanismCache cache(4);
   std::atomic<int> factory_calls{0};
-  std::atomic<const mechanisms::OptimalMechanism*> shared_ptr_seen{nullptr};
+  std::atomic<const mechanisms::OptimalMechanism*> first_seen{nullptr};
   std::atomic<int> mismatches{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < 8; ++t) {
@@ -278,10 +459,10 @@ TEST(NodeMechanismCacheTest, ConcurrentMissesRunFactoryOnce) {
         return TinyMechanism();
       });
       ASSERT_TRUE(result.ok());
+      const mechanisms::OptimalMechanism* raw = result.value().get();
       const mechanisms::OptimalMechanism* expected = nullptr;
-      if (!shared_ptr_seen.compare_exchange_strong(expected,
-                                                   result.value())) {
-        if (expected != result.value()) ++mismatches;
+      if (!first_seen.compare_exchange_strong(expected, raw)) {
+        if (expected != raw) ++mismatches;
       }
     });
   }
@@ -302,6 +483,192 @@ TEST(NodeMechanismCacheTest, FailedBuildPropagatesAndAllowsRetry) {
   auto retry = cache.GetOrCompute(3, [] { return TinyMechanism(); });
   EXPECT_TRUE(retry.ok());
   EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(NodeMechanismCacheTest, ClearNeverInvalidatesAHeldMechanism) {
+  // The lifetime contract of the shared_ptr API: a caller's copy pins the
+  // mechanism across Clear(), so using it afterwards is not a
+  // use-after-free (ASan/TSan builds verify this for real).
+  core::NodeMechanismCache cache(2);
+  auto held = cache.GetOrCompute(1, [] { return TinyMechanism(); });
+  ASSERT_TRUE(held.ok());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes_resident(), 0u);
+  rng::Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const int z = held.value()->ReportIndex(0, rng);
+    EXPECT_GE(z, 0);
+    EXPECT_LT(z, held.value()->num_locations());
+  }
+}
+
+TEST(NodeMechanismCacheTest, ByteBudgetEvictsDownToBudgetPlusOneEntry) {
+  // Calibrate the per-entry footprint with an unbounded probe cache.
+  size_t entry_bytes = 0;
+  {
+    core::NodeMechanismCache probe(1);
+    ASSERT_TRUE(probe.GetOrCompute(0, [] { return TinyMechanism(); }).ok());
+    entry_bytes = probe.bytes_resident();
+    ASSERT_GT(entry_bytes, 0u);
+  }
+  const size_t budget = 3 * entry_bytes;
+  core::NodeMechanismCache cache(4, budget);
+  for (spatial::NodeIndex node = 0; node < 12; ++node) {
+    ASSERT_TRUE(cache.GetOrCompute(node, [] { return TinyMechanism(); }).ok());
+    // Nothing is pinned between calls, so the resident total may only
+    // overshoot by the entry that just landed.
+    EXPECT_LE(cache.bytes_resident(), budget + entry_bytes) << node;
+  }
+  EXPECT_LE(cache.bytes_resident(), budget);
+  EXPECT_GE(cache.evictions(), 8u);
+  EXPECT_LE(cache.size(), 3u);
+}
+
+TEST(NodeMechanismCacheTest, EvictionPrefersTheLeastRecentlyUsedEntry) {
+  size_t entry_bytes = 0;
+  {
+    core::NodeMechanismCache probe(1);
+    ASSERT_TRUE(probe.GetOrCompute(0, [] { return TinyMechanism(); }).ok());
+    entry_bytes = probe.bytes_resident();
+  }
+  core::NodeMechanismCache cache(4, 3 * entry_bytes);
+  for (spatial::NodeIndex node = 1; node <= 3; ++node) {
+    ASSERT_TRUE(cache.GetOrCompute(node, [] { return TinyMechanism(); }).ok());
+  }
+  // Touch node 1 so node 2 becomes the LRU, then overflow with node 4.
+  bool hit = false;
+  ASSERT_TRUE(cache.GetOrCompute(1, [] { return TinyMechanism(); }, &hit)
+                  .ok());
+  EXPECT_TRUE(hit);
+  ASSERT_TRUE(cache.GetOrCompute(4, [] { return TinyMechanism(); }).ok());
+  EXPECT_EQ(cache.evictions(), 1u);
+  std::atomic<int> rebuilds{0};
+  auto counting = [&] {
+    ++rebuilds;
+    return TinyMechanism();
+  };
+  ASSERT_TRUE(cache.GetOrCompute(1, counting, &hit).ok());  // survived
+  EXPECT_TRUE(hit);
+  ASSERT_TRUE(cache.GetOrCompute(2, counting, &hit).ok());  // was evicted
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(rebuilds.load(), 1);
+}
+
+TEST(NodeMechanismCacheTest, PinnedEntriesAreSkippedByTheEvictor) {
+  size_t entry_bytes = 0;
+  {
+    core::NodeMechanismCache probe(1);
+    ASSERT_TRUE(probe.GetOrCompute(0, [] { return TinyMechanism(); }).ok());
+    entry_bytes = probe.bytes_resident();
+  }
+  core::NodeMechanismCache cache(2, entry_bytes);  // budget: one entry
+  std::vector<core::NodeMechanismCache::MechanismPtr> pins;
+  for (spatial::NodeIndex node = 0; node < 4; ++node) {
+    auto r = cache.GetOrCompute(node, [] { return TinyMechanism(); });
+    ASSERT_TRUE(r.ok());
+    pins.push_back(std::move(r).value());
+  }
+  // Every entry is pinned by a live reader: nothing may be evicted even
+  // though the cache is far over budget.
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_GT(cache.bytes_resident(), cache.byte_budget());
+  rng::Rng rng(3);
+  for (const auto& mech : pins) {
+    EXPECT_GE(mech->ReportIndex(0, rng), 0);
+  }
+  // Dropping the pins makes the backlog evictable on the next insert.
+  pins.clear();
+  ASSERT_TRUE(cache.GetOrCompute(99, [] { return TinyMechanism(); }).ok());
+  EXPECT_GE(cache.evictions(), 3u);
+  EXPECT_LE(cache.bytes_resident(), cache.byte_budget() + entry_bytes);
+}
+
+TEST(NodeMechanismCacheTest, ClearAndEvictionUnderConcurrentLookupsStress) {
+  // Hammers the full lifecycle — misses, hits, eviction, Clear() — from
+  // several threads while every returned mechanism is actually used. Under
+  // -DGEOPRIV_SANITIZE=thread (or address) this is the proof that no raw
+  // pointer escapes and nothing is freed under a reader.
+  size_t entry_bytes = 0;
+  {
+    core::NodeMechanismCache probe(1);
+    ASSERT_TRUE(probe.GetOrCompute(0, [] { return TinyMechanism(); }).ok());
+    entry_bytes = probe.bytes_resident();
+  }
+  core::NodeMechanismCache cache(4, 4 * entry_bytes);
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      rng::Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 400; ++i) {
+        const spatial::NodeIndex node =
+            static_cast<spatial::NodeIndex>(rng.UniformInt(16));
+        auto r = cache.GetOrCompute(node, [] { return TinyMechanism(); });
+        if (!r.ok()) {
+          ++failures;
+          continue;
+        }
+        // Use the mechanism *after* the lookup so a concurrent Clear()
+        // or eviction overlaps the use window.
+        if (r.value()->ReportIndex(0, rng) < 0) ++failures;
+      }
+    });
+  }
+  std::thread clearer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      cache.Clear();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& t : readers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  clearer.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Post-stress bookkeeping is consistent: one more Clear() must zero the
+  // resident byte count exactly (no leaked or double-counted charges).
+  cache.Clear();
+  EXPECT_EQ(cache.bytes_resident(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(NodeMechanismCacheTest, MsmWalksSurviveConcurrentClearAndEviction) {
+  // Service-shaped version of the stress: live MSM walks against a
+  // bounded cache while another thread keeps dropping it.
+  core::LocationSanitizer::Builder builder;
+  auto sanitizer = builder
+                       .SetRegionLatLon(kMinLat, kMinLon, kMaxLat, kMaxLon)
+                       .SetEpsilon(0.5)
+                       .SetGranularity(3)
+                       .SetPriorGranularity(16)
+                       .SetCacheByteBudget(32 * 1024)
+                       .Build();
+  ASSERT_TRUE(sanitizer.ok());
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> walkers;
+  for (int t = 0; t < 3; ++t) {
+    walkers.emplace_back([&, t] {
+      rng::Rng rng(77 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 60; ++i) {
+        auto z = sanitizer->SanitizeOrStatus({10.0 + 0.1 * (i % 7), 8.0},
+                                             rng);
+        if (!z.ok()) ++failures;
+      }
+    });
+  }
+  std::thread clearer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      sanitizer->mechanism().cache().Clear();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  for (auto& t : walkers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  clearer.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST(NodeMechanismCacheTest, DistinctNodesDoNotCollide) {
