@@ -69,6 +69,12 @@ LocationSanitizer::Builder& LocationSanitizer::Builder::SetCacheByteBudget(
   return *this;
 }
 
+LocationSanitizer::Builder& LocationSanitizer::Builder::SetConstructionPool(
+    ThreadPool* pool) {
+  construction_pool_ = pool;
+  return *this;
+}
+
 StatusOr<LocationSanitizer> LocationSanitizer::Builder::Build() {
   if (!region_set_) {
     return Status::FailedPrecondition("SetRegionLatLon was not called");
@@ -120,6 +126,7 @@ StatusOr<LocationSanitizer> LocationSanitizer::Builder::Build() {
   options.budget.rho = rho_;
   options.metric = metric_;
   options.cache_byte_budget = cache_byte_budget_;
+  options.opt.pricing_pool = construction_pool_;
   if (lp_time_limit_seconds_ > 0.0) {
     options.opt.solver.time_limit_seconds = lp_time_limit_seconds_;
   }

@@ -61,6 +61,11 @@ class LocationSanitizer {
     // node cache evicts least-recently-used unpinned entries (in-use
     // mechanisms are never freed under a reader). 0 = unbounded.
     Builder& SetCacheByteBudget(size_t bytes);
+    // Worker pool for parallel LP construction (pricing scans, cost
+    // tables, simplex kernels). Not owned; must outlive the sanitizer.
+    // Builds never block on the pool, so it is safe to share the serving
+    // pool. Null (the default) keeps construction serial.
+    Builder& SetConstructionPool(ThreadPool* pool);
 
     StatusOr<LocationSanitizer> Build();
 
@@ -76,6 +81,7 @@ class LocationSanitizer {
     geo::UtilityMetric metric_ = geo::UtilityMetric::kEuclidean;
     double lp_time_limit_seconds_ = 0.0;  // 0 = unlimited
     size_t cache_byte_budget_ = 0;        // 0 = unbounded
+    ThreadPool* construction_pool_ = nullptr;
   };
 
   // Sanitizes one coordinate pair. Coordinates outside the configured
@@ -108,6 +114,11 @@ class LocationSanitizer {
   // now resident.
   StatusOr<int> PrewarmTopNodes(int k) const {
     return msm_->PrewarmTopNodes(k);
+  }
+  // Parallel variant: independent frontier nodes (siblings, cousins)
+  // build concurrently on `pool`, ancestors always before descendants.
+  StatusOr<int> PrewarmTopNodes(int k, ThreadPool* pool) const {
+    return msm_->PrewarmTopNodes(k, pool);
   }
 
   // The privacy budget split the cost model chose.

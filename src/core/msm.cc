@@ -1,9 +1,13 @@
 #include "core/msm.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <queue>
 #include <utility>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 
 namespace geopriv::core {
 
@@ -31,6 +35,16 @@ MsmStats MultiStepMechanism::stats() const {
   snapshot.cache_bytes_resident =
       static_cast<int64_t>(cache_->bytes_resident());
   snapshot.cache_hit_rate = cache_->hit_rate();
+  snapshot.lp_pricing_seconds =
+      stats_->lp_pricing_seconds.load(std::memory_order_relaxed);
+  snapshot.lp_simplex_seconds =
+      stats_->lp_simplex_seconds.load(std::memory_order_relaxed);
+  snapshot.lp_violations_found =
+      stats_->lp_violations_found.load(std::memory_order_relaxed);
+  snapshot.degraded_rows =
+      stats_->degraded_rows.load(std::memory_order_relaxed);
+  snapshot.uniform_prior_fallbacks =
+      stats_->uniform_prior_fallbacks.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -46,7 +60,18 @@ MultiStepMechanism::BuildNodeMechanism(spatial::NodeIndex node,
     centers.push_back(c.bounds.Center());
     boxes.push_back(c.bounds);
   }
-  const std::vector<double> node_prior = prior_->ConditionalOn(boxes);
+  std::vector<double> node_prior = prior_->CellMasses(boxes);
+  double total = 0.0;
+  for (double m : node_prior) total += m;
+  if (!(total > 1e-15)) {
+    // Degenerate node: the conditional prior carries no mass (e.g. an
+    // index quadrant the training data never visited). Fall back to the
+    // zero-knowledge uniform prior over the children — and count it, so
+    // operators can see how often the mechanism runs blind.
+    std::fill(node_prior.begin(), node_prior.end(),
+              1.0 / static_cast<double>(node_prior.size()));
+    stats_->uniform_prior_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
   GEOPRIV_CHECK_MSG(level >= 1 && level <= budget_.height(),
                     "level outside allocation");
   GEOPRIV_ASSIGN_OR_RETURN(
@@ -54,20 +79,28 @@ MultiStepMechanism::BuildNodeMechanism(spatial::NodeIndex node,
       mechanisms::OptimalMechanism::Create(budget_.per_level[level - 1],
                                            std::move(centers), node_prior,
                                            options_.metric, options_.opt));
+  const mechanisms::OptSolveStats& os = mech.stats();
   stats_->lp_solves.fetch_add(1, std::memory_order_relaxed);
-  stats_->lp_seconds.fetch_add(mech.stats().solve_seconds,
-                               std::memory_order_relaxed);
+  stats_->lp_seconds.fetch_add(os.solve_seconds, std::memory_order_relaxed);
+  stats_->lp_pricing_seconds.fetch_add(os.pricing_seconds,
+                                       std::memory_order_relaxed);
+  stats_->lp_simplex_seconds.fetch_add(os.simplex_seconds,
+                                       std::memory_order_relaxed);
+  stats_->lp_violations_found.fetch_add(os.violations_found,
+                                        std::memory_order_relaxed);
+  stats_->degraded_rows.fetch_add(os.degraded_rows,
+                                  std::memory_order_relaxed);
   return std::make_unique<mechanisms::OptimalMechanism>(std::move(mech));
 }
 
 StatusOr<NodeMechanismCache::MechanismPtr>
 MultiStepMechanism::NodeMechanism(spatial::NodeIndex node, int level) const {
   if (!options_.cache_nodes) {
-    // Uncached mode: the caller co-owns the freshly built mechanism, so
-    // the sequential Report() path (and any test holding the pointer)
-    // stays valid past the next call.
-    GEOPRIV_ASSIGN_OR_RETURN(scratch_, BuildNodeMechanism(node, level));
-    return scratch_;
+    // Uncached mode: every call builds a mechanism the caller privately
+    // owns. No shared mutable state, so concurrent Report() calls are
+    // safe — they just each pay the LP.
+    GEOPRIV_ASSIGN_OR_RETURN(auto built, BuildNodeMechanism(node, level));
+    return NodeMechanismCache::MechanismPtr(std::move(built));
   }
   bool hit = false;
   auto result = cache_->GetOrCompute(
@@ -77,6 +110,11 @@ MultiStepMechanism::NodeMechanism(spatial::NodeIndex node, int level) const {
 }
 
 StatusOr<int> MultiStepMechanism::PrewarmTopNodes(int k) const {
+  return PrewarmTopNodes(k, nullptr);
+}
+
+StatusOr<int> MultiStepMechanism::PrewarmTopNodes(int k,
+                                                  ThreadPool* pool) const {
   if (!options_.cache_nodes) {
     return Status::FailedPrecondition(
         "PrewarmTopNodes requires cache_nodes");
@@ -85,7 +123,10 @@ StatusOr<int> MultiStepMechanism::PrewarmTopNodes(int k) const {
   // Best-first walk by unconditional prior mass. Expanding only popped
   // nodes guarantees every warmed node's ancestors are warmed first (a
   // node's mass never exceeds its parent's), matching what a query
-  // through that node will touch.
+  // through that node will touch. With a pool, independent frontier nodes
+  // build concurrently: each drainer claims the current best candidate,
+  // builds it outside the lock (through the cache's singleflight path),
+  // and feeds the node's children back into the frontier.
   struct Candidate {
     double mass;
     spatial::NodeIndex node;
@@ -94,23 +135,75 @@ StatusOr<int> MultiStepMechanism::PrewarmTopNodes(int k) const {
       return mass < other.mass;
     }
   };
-  std::priority_queue<Candidate> frontier;
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::priority_queue<Candidate> frontier;
+    int claimed = 0;   // candidates handed to a drainer (claimed <= k)
+    int warmed = 0;    // builds that completed successfully
+    int inflight = 0;  // builds currently running
+    bool failed = false;
+    Status error = Status::OK();
+  };
+  auto shared = std::make_shared<Shared>();
   if (!index_->IsLeaf(spatial::HierarchicalPartition::kRoot)) {
-    frontier.push({1.0, spatial::HierarchicalPartition::kRoot, 1});
+    shared->frontier.push({1.0, spatial::HierarchicalPartition::kRoot, 1});
   }
-  int warmed = 0;
-  while (!frontier.empty() && warmed < k) {
-    const Candidate top = frontier.top();
-    frontier.pop();
-    GEOPRIV_RETURN_IF_ERROR(NodeMechanism(top.node, top.level).status());
-    ++warmed;
-    if (top.level + 1 > budget_.height()) continue;
-    for (const spatial::ChildInfo& child : index_->Children(top.node)) {
-      if (index_->IsLeaf(child.id)) continue;
-      frontier.push({prior_->MassIn(child.bounds), child.id, top.level + 1});
+  const auto drain = [this, k, shared] {
+    std::unique_lock<std::mutex> lock(shared->mu);
+    for (;;) {
+      shared->cv.wait(lock, [&] {
+        return shared->failed || shared->claimed >= k ||
+               !shared->frontier.empty() || shared->inflight == 0;
+      });
+      if (shared->failed || shared->claimed >= k ||
+          (shared->frontier.empty() && shared->inflight == 0)) {
+        return;
+      }
+      if (shared->frontier.empty()) continue;  // spurious predicate pass
+      const Candidate top = shared->frontier.top();
+      shared->frontier.pop();
+      ++shared->claimed;
+      ++shared->inflight;
+      lock.unlock();
+
+      const auto result = NodeMechanism(top.node, top.level);
+      std::vector<Candidate> kids;
+      if (result.ok() && top.level + 1 <= budget_.height()) {
+        for (const spatial::ChildInfo& child : index_->Children(top.node)) {
+          if (index_->IsLeaf(child.id)) continue;
+          kids.push_back(
+              {prior_->MassIn(child.bounds), child.id, top.level + 1});
+        }
+      }
+
+      lock.lock();
+      --shared->inflight;
+      if (!result.ok()) {
+        if (!shared->failed) {
+          shared->failed = true;
+          shared->error = result.status();
+        }
+      } else {
+        ++shared->warmed;
+        for (const Candidate& kid : kids) shared->frontier.push(kid);
+      }
+      shared->cv.notify_all();
+    }
+  };
+  // Recruit helpers non-blockingly; a busy or shut-down pool just lowers
+  // the effective parallelism (the calling thread always participates).
+  if (pool != nullptr) {
+    const int helpers = std::min(pool->num_threads(), std::max(0, k - 1));
+    for (int h = 0; h < helpers; ++h) {
+      if (!pool->TrySubmit([drain](int /*worker*/) { drain(); })) break;
     }
   }
-  return warmed;
+  drain();
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->cv.wait(lock, [&] { return shared->inflight == 0; });
+  if (shared->failed) return shared->error;
+  return shared->warmed;
 }
 
 StatusOr<geo::Point> MultiStepMechanism::ReportOrStatus(

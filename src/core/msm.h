@@ -18,10 +18,11 @@
 // many threads share one mechanism (see MsmOptions::cache_nodes and the
 // micro/throughput benches for the effect).
 //
-// Thread safety: with cache_nodes = true (the default), ReportOrStatus and
-// Report are safe to call concurrently as long as each thread draws from
-// its own Rng; stats are atomic. With cache_nodes = false the mechanism
-// keeps single-call scratch state and must not be shared across threads.
+// Thread safety: ReportOrStatus and Report are safe to call concurrently
+// as long as each thread draws from its own Rng; stats are atomic. With
+// cache_nodes = false every call builds (and privately owns) a fresh
+// per-node mechanism, so the uncached mode is also thread-safe — it just
+// pays the LP on every visit.
 
 #ifndef GEOPRIV_CORE_MSM_H_
 #define GEOPRIV_CORE_MSM_H_
@@ -63,6 +64,19 @@ struct MsmStats {
   int64_t cache_evictions = 0;
   int64_t cache_bytes_resident = 0;
   double cache_hit_rate = 0.0;
+  // Aggregated from the per-node OptSolveStats: wall-clock split of
+  // lp_seconds between pricing scans and simplex pivoting, and the total
+  // violated GeoInd constraints the pricing rounds surfaced.
+  double lp_pricing_seconds = 0.0;
+  double lp_simplex_seconds = 0.0;
+  int64_t lp_violations_found = 0;
+  // All-zero LP rows rewritten to identity rows (GeoInd-breaking; nonzero
+  // only when options.opt.strict is disabled — strict builds fail
+  // instead).
+  int64_t degraded_rows = 0;
+  // Nodes whose conditional prior carried no mass and fell back to the
+  // uniform prior over their children.
+  int64_t uniform_prior_fallbacks = 0;
 };
 
 class MultiStepMechanism final : public mechanisms::Mechanism {
@@ -105,7 +119,18 @@ class MultiStepMechanism final : public mechanisms::Mechanism {
   // safe to run concurrently with live traffic (e.g. from a background
   // warmer). Returns the number of nodes now resident (hits included).
   // Requires cache_nodes; fails fast otherwise.
+  //
+  // With a pool, independent frontier nodes (siblings, cousins) build
+  // concurrently: helper threads are recruited non-blockingly from `pool`
+  // and the calling thread participates, so a busy or shut-down pool just
+  // lowers the effective parallelism. A node enters the frontier only
+  // when its parent's build completes, preserving ancestor-before-
+  // descendant order; with concurrent builds the k nodes picked are
+  // best-first among the candidates *discovered so far*, which can differ
+  // from the strict serial top-k when siblings race. pool == nullptr (or
+  // the single-argument overload) reproduces the serial walk exactly.
   StatusOr<int> PrewarmTopNodes(int k) const;
+  StatusOr<int> PrewarmTopNodes(int k, ThreadPool* pool) const;
 
  private:
   // Atomic counterpart of MsmStats; heap-allocated so the mechanism stays
@@ -114,6 +139,11 @@ class MultiStepMechanism final : public mechanisms::Mechanism {
     std::atomic<int64_t> lp_solves{0};
     std::atomic<double> lp_seconds{0.0};
     std::atomic<int64_t> cache_hits{0};
+    std::atomic<double> lp_pricing_seconds{0.0};
+    std::atomic<double> lp_simplex_seconds{0.0};
+    std::atomic<int64_t> lp_violations_found{0};
+    std::atomic<int64_t> degraded_rows{0};
+    std::atomic<int64_t> uniform_prior_fallbacks{0};
   };
 
   MultiStepMechanism(
@@ -139,10 +169,6 @@ class MultiStepMechanism final : public mechanisms::Mechanism {
   MsmOptions options_;
   BudgetAllocation budget_;
   std::unique_ptr<NodeMechanismCache> cache_;
-  // Holds the most recent mechanism when caching is disabled; callers of
-  // NodeMechanism() co-own it, so their pointer outlives the next call
-  // even in this mode (which is single-threaded by contract).
-  mutable NodeMechanismCache::MechanismPtr scratch_;
   std::unique_ptr<AtomicStats> stats_;
 };
 

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "base/check.h"
+#include "base/parallel_for.h"
 #include "base/stopwatch.h"
+#include "base/thread_pool.h"
 
 namespace geopriv::lp {
 
@@ -16,6 +18,10 @@ constexpr double kPivotTol = 1e-9;
 constexpr double kZeroTol = 1e-11;
 // Consecutive degenerate pivots before switching to Bland's rule.
 constexpr int kDegenerateLimit = 200;
+// Element operations below which a dense kernel runs inline: the fan-out
+// dispatch costs tens of microseconds, so only O(m^2) work on large bases
+// is worth shipping to the pool.
+constexpr size_t kMinParallelWork = size_t{1} << 17;
 
 struct SparseEntry {
   int row;
@@ -26,7 +32,11 @@ struct SparseEntry {
 class Core {
  public:
   Core(const Model& model, const SolverOptions& options)
-      : model_(model), options_(options), m_(model.num_constraints()) {}
+      : model_(model),
+        options_(options),
+        m_(model.num_constraints()),
+        pool_(options.pool),
+        parallelism_(EffectiveParallelism(options.pool, options.threads)) {}
 
   LpSolution Run(const Basis* warm, Basis* out_basis);
 
@@ -43,11 +53,35 @@ class Core {
                     std::vector<double>* pi) const;
   double Objective(const std::vector<double>& cost) const;
 
+  // Runs fn(lo, hi) over contiguous sub-ranges of [0, items), fanned
+  // across the options' pool when `work` (element operations) is large
+  // enough to amortize the dispatch; a single inline fn(0, items) call
+  // otherwise. Because chunks are contiguous and every output element is
+  // produced by exactly one chunk in its serial iteration order, the
+  // parallel result is bit-identical to the serial one.
+  template <typename Fn>
+  void ParallelRanges(int items, size_t work, const Fn& fn) const {
+    if (pool_ == nullptr || parallelism_ <= 1 || items <= 1 ||
+        work < kMinParallelWork) {
+      fn(0, items);
+      return;
+    }
+    const int chunks = std::min(items, parallelism_);
+    ParallelChunks(pool_, parallelism_, chunks, [&](int c) {
+      const int base = items / chunks;
+      const int rem = items % chunks;
+      const int lo = c * base + std::min(c, rem);
+      fn(lo, lo + base + (c < rem ? 1 : 0));
+    });
+  }
+
   int NumVars() const { return static_cast<int>(cols_.size()); }
 
   const Model& model_;
   const SolverOptions& options_;
   const int m_;
+  ThreadPool* const pool_;
+  const int parallelism_;
   int n_structural_ = 0;
   int n_slack_end_ = 0;  // structural + slack count (artificials follow)
 
@@ -73,6 +107,8 @@ class Core {
   // steepest-edge at negligible cost and cuts the iteration count several
   // fold on degenerate instances versus Dantzig pricing.
   std::vector<double> devex_;
+  // Scratch for ComputeDuals: (row, basic cost) pairs in row order.
+  mutable std::vector<std::pair<int, double>> active_rows_;
 
   void ResetDevex() { devex_.assign(NumVars(), 1.0); }
 };
@@ -259,19 +295,25 @@ bool Core::Refactorize() {
       b[static_cast<size_t>(col) * m_ + k] *= inv;
       binv_[static_cast<size_t>(col) * m_ + k] *= inv;
     }
-    for (int i = 0; i < m_; ++i) {
-      if (i == col) continue;
-      const double f = b[static_cast<size_t>(i) * m_ + col];
-      if (f == 0.0) continue;
-      double* brow = &b[static_cast<size_t>(i) * m_];
-      double* irow = &binv_[static_cast<size_t>(i) * m_];
-      const double* bcol = &b[static_cast<size_t>(col) * m_];
-      const double* icol = &binv_[static_cast<size_t>(col) * m_];
-      for (int k = 0; k < m_; ++k) {
-        brow[k] -= f * bcol[k];
-        irow[k] -= f * icol[k];
+    // Eliminate the pivot column from every other row. Rows are
+    // independent (each reads only the pivot row), so they fan out across
+    // the pool on large bases; per-row arithmetic is unchanged, keeping
+    // the factorization bit-identical to the serial one.
+    const double* bcol = &b[static_cast<size_t>(col) * m_];
+    const double* icol = &binv_[static_cast<size_t>(col) * m_];
+    ParallelRanges(m_, static_cast<size_t>(m_) * m_, [&](int lo, int hi) {
+      for (int i = lo; i < hi; ++i) {
+        if (i == col) continue;
+        const double f = b[static_cast<size_t>(i) * m_ + col];
+        if (f == 0.0) continue;
+        double* brow = &b[static_cast<size_t>(i) * m_];
+        double* irow = &binv_[static_cast<size_t>(i) * m_];
+        for (int k = 0; k < m_; ++k) {
+          brow[k] -= f * bcol[k];
+          irow[k] -= f * icol[k];
+        }
       }
-    }
+    });
   }
   ComputeBasicValues();
   pivots_since_refactor_ = 0;
@@ -285,25 +327,40 @@ void Core::ComputeBasicValues() {
     if (status_[j] == VarStatus::kBasic || x_[j] == 0.0) continue;
     for (const SparseEntry& e : cols_[j]) r[e.row] -= e.value * x_[j];
   }
-  for (int i = 0; i < m_; ++i) {
-    double v = 0.0;
-    const double* row = &binv_[static_cast<size_t>(i) * m_];
-    for (int k = 0; k < m_; ++k) v += row[k] * r[k];
-    x_[basis_[i]] = v;
-  }
+  // One independent row dot product per basic variable (basis_ entries are
+  // distinct, so the x_ writes are disjoint).
+  ParallelRanges(m_, static_cast<size_t>(m_) * m_, [&](int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      double v = 0.0;
+      const double* row = &binv_[static_cast<size_t>(i) * m_];
+      for (int k = 0; k < m_; ++k) v += row[k] * r[k];
+      x_[basis_[i]] = v;
+    }
+  });
 }
 
 void Core::ComputeDuals(const std::vector<double>& cost,
                         std::vector<double>* pi) const {
   pi->assign(m_, 0.0);
+  // Rows whose basic variable carries a nonzero cost, in row order. Each
+  // dual component k then accumulates over these rows in that fixed order,
+  // so slicing the k range across threads changes nothing about any
+  // individual sum — parallel duals are bit-identical to serial ones.
+  active_rows_.clear();
   for (int i = 0; i < m_; ++i) {
     const double cb = basis_[i] < static_cast<int>(cost.size())
                           ? cost[basis_[i]]
                           : 0.0;
     if (cb == 0.0) continue;
-    const double* row = &binv_[static_cast<size_t>(i) * m_];
-    for (int k = 0; k < m_; ++k) (*pi)[k] += cb * row[k];
+    active_rows_.push_back({i, cb});
   }
+  double* out = pi->data();
+  ParallelRanges(m_, active_rows_.size() * m_, [&](int lo, int hi) {
+    for (const auto& [row_index, cb] : active_rows_) {
+      const double* row = &binv_[static_cast<size_t>(row_index) * m_];
+      for (int k = lo; k < hi; ++k) out[k] += cb * row[k];
+    }
+  });
 }
 
 double Core::Objective(const std::vector<double>& cost) const {
@@ -459,13 +516,18 @@ Core::StepResult Core::Iterate(const std::vector<double>& cost, bool bland) {
   }
   const double inv_pivot = 1.0 / pivot;
   for (int k = 0; k < m_; ++k) prow[k] *= inv_pivot;
-  for (int i = 0; i < m_; ++i) {
-    if (i == leave_row) continue;
-    const double f = w_[i];
-    if (f == 0.0) continue;
-    double* row = &binv_[static_cast<size_t>(i) * m_];
-    for (int k = 0; k < m_; ++k) row[k] -= f * prow[k];
-  }
+  // Rank-1 inverse update: every row i != leave_row subtracts its own
+  // multiple of the (now scaled, read-only) pivot row — the per-iteration
+  // O(m^2) hot spot, and embarrassingly row-parallel.
+  ParallelRanges(m_, static_cast<size_t>(m_) * m_, [&](int lo, int hi) {
+    for (int i = lo; i < hi; ++i) {
+      if (i == leave_row) continue;
+      const double f = w_[i];
+      if (f == 0.0) continue;
+      double* row = &binv_[static_cast<size_t>(i) * m_];
+      for (int k = 0; k < m_; ++k) row[k] -= f * prow[k];
+    }
+  });
   ++pivots_since_refactor_;
   return StepResult::kContinue;
 }

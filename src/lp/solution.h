@@ -7,6 +7,10 @@
 #include <string>
 #include <vector>
 
+namespace geopriv {
+class ThreadPool;
+}
+
 namespace geopriv::lp {
 
 enum class SolveStatus {
@@ -40,6 +44,18 @@ struct SolverOptions {
   // default caps that matrix at ~1.2 GB; instances beyond it return
   // kTooLarge instead of exhausting memory.
   int max_basis_rows = 12000;
+  // Optional worker pool for the dense O(m^2)/O(m^3) kernels (basis
+  // refactorization, rank-1 inverse updates, duals, basic values). The
+  // solver never blocks on the pool — helpers are recruited non-blockingly
+  // and the solving thread participates — so a null or busy pool just
+  // means serial, and it is safe to Solve() from one of the pool's own
+  // workers. Parallel and serial runs are bit-identical: every output
+  // element keeps its serial accumulation order. Not owned; must outlive
+  // the Solve() call.
+  ThreadPool* pool = nullptr;
+  // Total solver threads (pool helpers + the solving thread); 0 = pool
+  // size + 1.
+  int threads = 0;
 };
 
 struct LpSolution {

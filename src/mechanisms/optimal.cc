@@ -1,12 +1,17 @@
 #include "mechanisms/optimal.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <tuple>
 #include <unordered_set>
+#include <utility>
 
 #include "base/check.h"
+#include "base/parallel_for.h"
 #include "base/stopwatch.h"
+#include "base/thread_pool.h"
 #include "lp/interior_point.h"
 #include "lp/model.h"
 #include "lp/revised_simplex.h"
@@ -31,6 +36,14 @@ Status MapSolverFailure(lp::SolveStatus status) {
       return Status::Internal("LP solver failed: " +
                               lp::SolveStatusToString(status));
   }
+}
+
+// Contiguous sub-range c (of `chunks`) of [0, items).
+std::pair<int, int> ChunkRange(int items, int chunks, int c) {
+  const int base = items / chunks;
+  const int rem = items % chunks;
+  const int lo = c * base + std::min(c, rem);
+  return {lo, lo + base + (c < rem ? 1 : 0)};
 }
 
 }  // namespace
@@ -65,7 +78,7 @@ StatusOr<OptimalMechanism> OptimalMechanism::Create(
   if (n == 1) {
     mech.k_ = {1.0};
     mech.stats_.objective = 0.0;
-    mech.BuildRowSamplers();
+    mech.BuildRowSamplers(options);
     return mech;
   }
   Status solve_status;
@@ -79,19 +92,29 @@ StatusOr<OptimalMechanism> OptimalMechanism::Create(
       break;
   }
   GEOPRIV_RETURN_IF_ERROR(solve_status);
-  mech.BuildRowSamplers();
+  mech.BuildRowSamplers(options);
   return mech;
 }
 
-void OptimalMechanism::BuildRowSamplers() {
+void OptimalMechanism::BuildRowSamplers(
+    const OptimalMechanismOptions& options) {
   const int n = num_locations();
-  for (int x = 0; x < n; ++x) {
-    std::vector<double> row(k_.begin() + static_cast<size_t>(x) * n,
-                            k_.begin() + static_cast<size_t>(x + 1) * n);
-    auto sampler = rng::AliasSampler::Create(row);
-    GEOPRIV_CHECK_MSG(sampler.ok(), "row sampler construction failed");
-    row_samplers_[x] = std::move(sampler).value();
-  }
+  const int parallelism =
+      EffectiveParallelism(options.pricing_pool, options.pricing_threads);
+  // Each chunk builds the alias tables of a contiguous row range; rows are
+  // independent and each writes only its own slot.
+  const int chunks =
+      options.pricing_pool != nullptr ? std::min(n, parallelism * 4) : 1;
+  ParallelChunks(options.pricing_pool, parallelism, chunks, [&](int c) {
+    const auto [lo, hi] = ChunkRange(n, chunks, c);
+    for (int x = lo; x < hi; ++x) {
+      std::vector<double> row(k_.begin() + static_cast<size_t>(x) * n,
+                              k_.begin() + static_cast<size_t>(x + 1) * n);
+      auto sampler = rng::AliasSampler::Create(row);
+      GEOPRIV_CHECK_MSG(sampler.ok(), "row sampler construction failed");
+      row_samplers_[x] = std::move(sampler).value();
+    }
+  });
 }
 
 Status OptimalMechanism::SolveColumnGeneration(
@@ -99,18 +122,31 @@ Status OptimalMechanism::SolveColumnGeneration(
   Stopwatch stopwatch;
   const int n = num_locations();
   const size_t nn = static_cast<size_t>(n) * n;
+  ThreadPool* const pool = options.pricing_pool;
+  const int parallelism = EffectiveParallelism(pool, options.pricing_threads);
+  stats_.pricing_threads_used = parallelism;
+  // Slice count for the fanned-out stages: a few chunks per thread evens
+  // out load imbalance without drowning small instances in dispatch.
+  const int num_chunks =
+      pool != nullptr ? std::min(n, parallelism * 4) : 1;
 
   // Precomputed tables: cost c[x*n+z] = Pi_x * d_Q(x,z) and the GeoInd
-  // bound expd[x*n+x'] = e^{eps d(x,x')}.
+  // bound expd[x*n+x'] = e^{eps d(x,x')}. Chunked by x row — every element
+  // is computed exactly once from immutable inputs, so the parallel tables
+  // match the serial ones bit for bit.
   std::vector<double> cost(nn), expd(nn);
-  for (int x = 0; x < n; ++x) {
-    for (int z = 0; z < n; ++z) {
-      cost[static_cast<size_t>(x) * n + z] =
-          prior_[x] * geo::UtilityLoss(metric_, locations_[x], locations_[z]);
-      expd[static_cast<size_t>(x) * n + z] =
-          std::exp(eps_ * geo::Euclidean(locations_[x], locations_[z]));
+  ParallelChunks(pool, parallelism, num_chunks, [&](int c) {
+    const auto [lo, hi] = ChunkRange(n, num_chunks, c);
+    for (int x = lo; x < hi; ++x) {
+      for (int z = 0; z < n; ++z) {
+        cost[static_cast<size_t>(x) * n + z] =
+            prior_[x] *
+            geo::UtilityLoss(metric_, locations_[x], locations_[z]);
+        expd[static_cast<size_t>(x) * n + z] =
+            std::exp(eps_ * geo::Euclidean(locations_[x], locations_[z]));
+      }
     }
-  }
+  });
 
   // Dual model: maximize sum_x y_x subject to, for every matrix entry
   // (x,z), y_x + (generated w terms) <= c_{xz}. Every lazily generated dual
@@ -173,11 +209,18 @@ Status OptimalMechanism::SolveColumnGeneration(
   lp::Basis basis;
   lp::LpSolution sol;
   lp::SolverOptions solver_options = options.solver;
+  // Let the simplex dense kernels share the construction pool unless the
+  // caller wired a solver pool explicitly.
+  if (solver_options.pool == nullptr) {
+    solver_options.pool = pool;
+    solver_options.threads = options.pricing_threads;
+  }
+  const double time_limit = options.solver.time_limit_seconds;
   for (int round = 0; round < options.max_rounds; ++round) {
     ++stats_.rounds;
-    if (std::isfinite(options.solver.time_limit_seconds)) {
+    if (std::isfinite(time_limit)) {
       solver_options.time_limit_seconds =
-          options.solver.time_limit_seconds - stopwatch.ElapsedSeconds();
+          time_limit - stopwatch.ElapsedSeconds();
       if (solver_options.time_limit_seconds <= 0.0) {
         return Status::DeadlineExceeded("column generation hit time limit");
       }
@@ -186,33 +229,67 @@ Status OptimalMechanism::SolveColumnGeneration(
                                     basis.empty() ? nullptr : &basis, &basis);
     if (!sol.optimal()) return MapSolverFailure(sol.status);
     stats_.simplex_iterations += sol.iterations;
+    stats_.simplex_seconds += sol.solve_seconds;
 
     // The duals of the restricted dual are the optimal primal K of the
     // restricted primal. Price all not-yet-generated GeoInd constraints.
+    // The O(n^3) scan is partitioned into contiguous z slices: each chunk
+    // appends its finds to a private list in (z, x, xp) order, and the
+    // per-chunk lists concatenate in chunk order below — exactly the order
+    // the serial z-outer loop produces, so parallel and serial runs
+    // generate identical column sequences. `generated` is read-only here.
+    Stopwatch pricing_watch;
     const std::vector<double>& k = sol.duals;
-    std::vector<Violation> violations;
-    for (int z = 0; z < n; ++z) {
-      for (int x = 0; x < n; ++x) {
-        const double kxz = k[row_of(x, z)];
-        for (int xp = 0; xp < n; ++xp) {
-          if (xp == x) continue;
-          // Row-scaled residual (constraint divided by its largest
-          // coefficient e^{eps d}); see MaxGeoIndViolation for why.
-          const double v =
-              kxz / expd[static_cast<size_t>(x) * n + xp] - k[row_of(xp, z)];
-          if (v > options.violation_tolerance) {
-            const int64_t key =
-                (static_cast<int64_t>(x) * n + xp) * n + z;
-            if (generated.contains(key)) continue;
-            violations.push_back({v, x, xp, z});
+    std::vector<std::vector<Violation>> slice_violations(num_chunks);
+    std::atomic<bool> deadline_hit{false};
+    ParallelChunks(pool, parallelism, num_chunks, [&](int c) {
+      const auto [z_lo, z_hi] = ChunkRange(n, num_chunks, c);
+      std::vector<Violation>& local = slice_violations[c];
+      for (int z = z_lo; z < z_hi; ++z) {
+        // Deadline check per z slice: a multi-second scan must not blow
+        // past the budget just because the simplex happened to finish
+        // under it. One flag stops every chunk promptly.
+        if (deadline_hit.load(std::memory_order_relaxed)) return;
+        if (std::isfinite(time_limit) &&
+            stopwatch.ElapsedSeconds() > time_limit) {
+          deadline_hit.store(true, std::memory_order_relaxed);
+          return;
+        }
+        for (int x = 0; x < n; ++x) {
+          const double kxz = k[row_of(x, z)];
+          for (int xp = 0; xp < n; ++xp) {
+            if (xp == x) continue;
+            // Row-scaled residual (constraint divided by its largest
+            // coefficient e^{eps d}); see MaxGeoIndViolation for why.
+            const double v = kxz / expd[static_cast<size_t>(x) * n + xp] -
+                             k[row_of(xp, z)];
+            if (v > options.violation_tolerance) {
+              const int64_t key =
+                  (static_cast<int64_t>(x) * n + xp) * n + z;
+              if (generated.contains(key)) continue;
+              local.push_back({v, x, xp, z});
+            }
           }
         }
       }
+    });
+    stats_.pricing_seconds += pricing_watch.ElapsedSeconds();
+    if (deadline_hit.load(std::memory_order_relaxed)) {
+      return Status::DeadlineExceeded(
+          "column generation hit time limit during pricing");
     }
+    size_t found = 0;
+    for (const auto& local : slice_violations) found += local.size();
+    std::vector<Violation> violations;
+    violations.reserve(found);
+    for (const auto& local : slice_violations) {
+      violations.insert(violations.end(), local.begin(), local.end());
+    }
+    stats_.violations_found += static_cast<int64_t>(found);
     if (violations.empty()) {
       // All n^3 constraints hold: k is feasible and (by LP duality)
       // optimal for the complete program.
-      FinalizeMatrix(k);
+      GEOPRIV_RETURN_IF_ERROR(FinalizeMatrix(k, options.strict));
       stats_.solve_seconds = stopwatch.ElapsedSeconds();
       stats_.objective = 0.0;
       for (size_t i = 0; i < nn; ++i) stats_.objective += cost[i] * k_[i];
@@ -221,10 +298,15 @@ Status OptimalMechanism::SolveColumnGeneration(
     const int take =
         std::min<int>(per_round, static_cast<int>(violations.size()));
     if (take < static_cast<int>(violations.size())) {
+      // Stable (x, xp, z) tie-break: amounts can tie exactly (symmetric
+      // instances), and the columns taken must not depend on how the
+      // pricing happened to be sliced.
       std::partial_sort(violations.begin(), violations.begin() + take,
                         violations.end(),
                         [](const Violation& a, const Violation& b) {
-                          return a.amount > b.amount;
+                          if (a.amount != b.amount) return a.amount > b.amount;
+                          return std::tie(a.x, a.xp, a.z) <
+                                 std::tie(b.x, b.xp, b.z);
                         });
     }
     for (int i = 0; i < take; ++i) {
@@ -292,7 +374,8 @@ Status OptimalMechanism::SolveFullPrimal(
   if (!sol.optimal()) return MapSolverFailure(sol.status);
   stats_.rounds = 1;
   stats_.simplex_iterations = sol.iterations;
-  FinalizeMatrix(sol.x);
+  stats_.simplex_seconds = sol.solve_seconds;
+  GEOPRIV_RETURN_IF_ERROR(FinalizeMatrix(sol.x, options.strict));
   stats_.solve_seconds = stopwatch.ElapsedSeconds();
   stats_.objective = 0.0;
   for (int x = 0; x < n; ++x) {
@@ -305,10 +388,12 @@ Status OptimalMechanism::SolveFullPrimal(
   return Status::OK();
 }
 
-void OptimalMechanism::FinalizeMatrix(std::vector<double> raw) {
+Status OptimalMechanism::FinalizeMatrix(std::vector<double> raw,
+                                        bool strict) {
   const int n = num_locations();
   k_ = std::move(raw);
   k_.resize(static_cast<size_t>(n) * n, 0.0);
+  int degraded = 0;
   for (int x = 0; x < n; ++x) {
     double sum = 0.0;
     for (int z = 0; z < n; ++z) {
@@ -317,7 +402,11 @@ void OptimalMechanism::FinalizeMatrix(std::vector<double> raw) {
       sum += v;
     }
     if (sum <= 0.0) {
-      // Should not happen for a feasible LP; degrade to the identity row.
+      // Should not happen for a feasible LP. An identity row is a valid
+      // probability distribution but reports the true location with
+      // certainty — it breaks geo-indistinguishability, so it is never
+      // silent: strict mode fails the build below, non-strict counts it.
+      ++degraded;
       k_[static_cast<size_t>(x) * n + x] = 1.0;
       continue;
     }
@@ -325,6 +414,15 @@ void OptimalMechanism::FinalizeMatrix(std::vector<double> raw) {
       k_[static_cast<size_t>(x) * n + z] /= sum;
     }
   }
+  stats_.degraded_rows += degraded;
+  if (degraded > 0 && strict) {
+    return Status::Internal(
+        "LP solution has " + std::to_string(degraded) +
+        " all-zero row(s); refusing the GeoInd-breaking identity-row "
+        "degrade (set OptimalMechanismOptions::strict = false to allow "
+        "and count it)");
+  }
+  return Status::OK();
 }
 
 geo::Point OptimalMechanism::Report(geo::Point actual, rng::Rng& rng) {

@@ -29,6 +29,10 @@
 #include "mechanisms/mechanism.h"
 #include "rng/alias_sampler.h"
 
+namespace geopriv {
+class ThreadPool;
+}
+
 namespace geopriv::mechanisms {
 
 enum class OptAlgorithm {
@@ -54,6 +58,24 @@ struct OptimalMechanismOptions {
   // rounds; exactness is unaffected (generation still runs to a clean
   // pricing pass).
   int seed_nearest_neighbors = 8;
+  // Parallel construction. When set, the cost/exp-distance tables, the
+  // O(n^3) pricing scan (partitioned by z-slice), the row samplers, and
+  // the simplex dense kernels all fan out across this pool, with the
+  // calling thread participating. Construction never blocks on the pool
+  // (a busy or shut-down pool just lowers the effective parallelism, so
+  // it is safe to Create() from one of the pool's own workers), and a
+  // parallel run is bit-identical to a serial one: pricing slices merge
+  // in z order and every accumulation keeps its serial element order.
+  // Not owned; must outlive the Create() call.
+  ThreadPool* pricing_pool = nullptr;
+  // Total construction threads (pool helpers + the calling thread);
+  // 0 = pool size + 1.
+  int pricing_threads = 0;
+  // Fail Create() when the solved matrix contains an all-zero row, which
+  // would otherwise be silently rewritten to an identity row — a reply
+  // distribution that breaks geo-indistinguishability. With strict off
+  // the rewrite still happens but is counted in OptSolveStats.
+  bool strict = true;
 };
 
 struct OptSolveStats {
@@ -62,6 +84,21 @@ struct OptSolveStats {
   int simplex_iterations = 0;
   double solve_seconds = 0.0;
   double objective = 0.0;    // expected utility loss under the prior
+  // Wall-clock split of solve_seconds between the two phases of column
+  // generation, for the pricing-vs-simplex balance the parallel pipeline
+  // is tuned against.
+  double pricing_seconds = 0.0;
+  double simplex_seconds = 0.0;
+  // Violated GeoInd constraints seen across all pricing rounds (every one
+  // of them entered the dual as a column unless columns_per_round capped
+  // the round).
+  int64_t violations_found = 0;
+  // Effective construction parallelism (1 without a pricing pool).
+  int pricing_threads_used = 1;
+  // All-zero rows rewritten to identity rows by FinalizeMatrix. Nonzero
+  // only when OptimalMechanismOptions::strict is off; with strict on,
+  // Create() fails instead.
+  int degraded_rows = 0;
 };
 
 class OptimalMechanism final : public Mechanism {
@@ -128,10 +165,12 @@ class OptimalMechanism final : public Mechanism {
         prior_(std::move(prior)),
         metric_(metric) {}
 
+  friend class OptimalMechanismTestPeer;
+
   Status SolveColumnGeneration(const OptimalMechanismOptions& options);
   Status SolveFullPrimal(const OptimalMechanismOptions& options);
-  void FinalizeMatrix(std::vector<double> raw);
-  void BuildRowSamplers();
+  Status FinalizeMatrix(std::vector<double> raw, bool strict);
+  void BuildRowSamplers(const OptimalMechanismOptions& options);
 
   double eps_;
   std::vector<geo::Point> locations_;

@@ -85,7 +85,10 @@ Status SanitizationService::RegisterRegion(const std::string& region_id,
       .SetPriorGranularity(config.prior_granularity)
       .SetUtilityMetric(config.metric)
       .SetSeed(options_.seed)
-      .SetCacheByteBudget(config.cache_byte_budget);
+      .SetCacheByteBudget(config.cache_byte_budget)
+      // LP construction fans out across the serving pool. Builds never
+      // block on the pool, so a fully busy pool just means serial builds.
+      .SetConstructionPool(pool_.get());
   if (!config.checkins.empty()) builder.AddCheckinsLatLon(config.checkins);
   if (config.lp_time_limit_seconds > 0.0) {
     builder.SetLpTimeLimitSeconds(config.lp_time_limit_seconds);
@@ -120,7 +123,8 @@ Status SanitizationService::RegisterRegion(const std::string& region_id,
     // Best-effort: a failed prewarm solve (e.g. an LP time limit) means
     // lazy solving — and, if that keeps failing, the planar-Laplace
     // degradation path — not a failed registration.
-    auto warmed = region->sanitizer.PrewarmTopNodes(config.prewarm_nodes);
+    auto warmed = region->sanitizer.PrewarmTopNodes(config.prewarm_nodes,
+                                                    pool_.get());
     region->prewarmed_nodes = warmed.ok() ? warmed.value() : 0;
   }
 
@@ -364,11 +368,14 @@ std::string SanitizationService::MetricsJson() const {
     // The numeric tail has a fixed shape, so snprintf is safe for it; the
     // id is arbitrary caller data and goes through JsonEscape into a
     // growable string (a 400-char id with quotes must survive intact).
-    char buf[512];
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "{\"eps\":%.6f,\"height\":%d,\"leaf_cells_per_axis\":%d,"
-        "\"lp_solves\":%lld,\"lp_seconds\":%.6f,\"cache_hits\":%lld,"
+        "\"lp_solves\":%lld,\"lp_seconds\":%.6f,"
+        "\"lp_pricing_seconds\":%.6f,\"lp_simplex_seconds\":%.6f,"
+        "\"lp_violations\":%lld,\"degraded_rows\":%lld,"
+        "\"uniform_prior_fallbacks\":%lld,\"cache_hits\":%lld,"
         "\"cache_size\":%zu,\"cache_bytes_resident\":%zu,"
         "\"cache_byte_budget\":%zu,\"cache_evictions\":%llu,"
         "\"cache_hit_rate\":%.6f,\"prewarmed_nodes\":%d,"
@@ -376,6 +383,10 @@ std::string SanitizationService::MetricsJson() const {
         region->sanitizer.epsilon(), region->sanitizer.budget().height(),
         region->leaf_cells_per_axis,
         static_cast<long long>(stats.lp_solves), stats.lp_seconds,
+        stats.lp_pricing_seconds, stats.lp_simplex_seconds,
+        static_cast<long long>(stats.lp_violations_found),
+        static_cast<long long>(stats.degraded_rows),
+        static_cast<long long>(stats.uniform_prior_fallbacks),
         static_cast<long long>(stats.cache_hits), cache.size(),
         cache.bytes_resident(), cache.byte_budget(),
         static_cast<unsigned long long>(cache.evictions()),

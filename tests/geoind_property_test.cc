@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/thread_pool.h"
 #include "core/msm.h"
 #include "geo/distance.h"
 #include "mechanisms/exponential.h"
@@ -84,6 +85,29 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(PriorKind::kUniform,
                                          PriorKind::kSkewed,
                                          PriorKind::kSpiked)));
+
+TEST(ParallelOptGeoIndTest, ParallelBuiltMatrixSatisfiesAllConstraints) {
+  // The privacy invariant must survive the parallel construction pipeline
+  // too: audit a matrix built with pricing fanned out across a pool.
+  ThreadPool pool(4, 64);
+  rng::Rng rng(29);
+  const int g = 4;
+  spatial::UniformGrid grid(kDomain, g);
+  mechanisms::OptimalMechanismOptions options;
+  options.pricing_pool = &pool;
+  options.pricing_threads = 4;
+  auto opt = mechanisms::OptimalMechanism::Create(
+      0.5, grid.AllCenters(), MakePrior(PriorKind::kSkewed, g * g, rng),
+      UtilityMetric::kEuclidean, options);
+  ASSERT_TRUE(opt.ok()) << opt.status();
+  EXPECT_LE(opt->MaxGeoIndViolation(), 1e-6);
+  for (int x = 0; x < g * g; ++x) {
+    double sum = 0.0;
+    for (int z = 0; z < g * g; ++z) sum += opt->K(x, z);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "row " << x;
+  }
+  pool.Shutdown();
+}
 
 TEST(PlanarLaplaceDensityTest, RatioBoundHoldsAnalytically) {
   // The PL density is (eps^2/2pi) e^{-eps d(x,z)}; for any x, x', z the
