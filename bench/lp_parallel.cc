@@ -15,6 +15,7 @@
 //   --large_g G     large-instance attempt per axis (default 20: n = 400)
 //   --json PATH     output JSON path (default BENCH_lp.json)
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -164,20 +165,28 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
     return 1;
   }
+  const unsigned hc = std::thread::hardware_concurrency();
+  unsigned max_threads = 0;
+  for (const auto& r : creates)
+    max_threads = std::max(max_threads, static_cast<unsigned>(r.threads));
   std::fprintf(f,
                "{\n  \"bench\": \"lp_parallel\",\n"
                "  \"n\": %d,\n  \"eps\": %g,\n"
-               "  \"hardware_concurrency\": %u,\n  \"create\": [\n",
-               g * g, eps, std::thread::hardware_concurrency());
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"multi_thread_scaling_valid\": %s,\n  \"create\": [\n",
+               g * g, eps, hc, hc >= max_threads ? "true" : "false");
   for (size_t i = 0; i < creates.size(); ++i) {
     const auto& r = creates[i];
     std::fprintf(
         f,
-        "    {\"threads\": %d, \"seconds\": %.4f,"
+        "    {\"threads\": %d, \"hardware_concurrency\": %u,"
+        " \"scaling_valid\": %s, \"seconds\": %.4f,"
         " \"pricing_seconds\": %.4f, \"simplex_seconds\": %.4f,"
         " \"violations\": %lld, \"rounds\": %d,"
         " \"speedup_vs_serial\": %.3f, \"bit_identical\": %s}%s\n",
-        r.threads, r.seconds, r.stats.pricing_seconds,
+        r.threads, hc,
+        hc >= static_cast<unsigned>(r.threads) ? "true" : "false",
+        r.seconds, r.stats.pricing_seconds,
         r.stats.simplex_seconds, static_cast<long long>(
             r.stats.violations_found), r.stats.rounds,
         serial_seconds / r.seconds, r.bit_identical ? "true" : "false",
@@ -187,9 +196,12 @@ int Main(int argc, char** argv) {
   for (size_t i = 0; i < prewarms.size(); ++i) {
     const auto& r = prewarms[i];
     std::fprintf(f,
-                 "    {\"threads\": %d, \"k\": %d, \"warmed\": %d,"
+                 "    {\"threads\": %d, \"hardware_concurrency\": %u,"
+                 " \"scaling_valid\": %s, \"k\": %d, \"warmed\": %d,"
                  " \"seconds\": %.4f}%s\n",
-                 r.threads, prewarm_k, r.warmed, r.seconds,
+                 r.threads, hc,
+                 hc >= static_cast<unsigned>(r.threads) ? "true" : "false",
+                 prewarm_k, r.warmed, r.seconds,
                  i + 1 < prewarms.size() ? "," : "");
   }
   std::fprintf(

@@ -1,0 +1,304 @@
+// Warm serving-path benchmark: QPS of the fully warm SanitizationService
+// as a function of worker-pool size (the registry snapshot + pinned
+// serving-plan path), plus a single-thread comparison of batched
+// (ReportBatchOrStatus) versus sequential (ReportOrStatus) tree walks on
+// one mechanism. Results go to stdout as a table and to --json (default
+// BENCH_serving.json).
+//
+// Flags:
+//   --threads "1,2,4,8"   comma-separated worker counts to sweep
+//   --requests N          requests per warm measurement batch (default 4000)
+//   --batch_points N      points for the batch-vs-sequential walk (default
+//                         200000)
+//   --eps E               privacy budget (default 0.5)
+//   --g G                 index fanout (default 3)
+//   --json PATH           output JSON path (default BENCH_serving.json)
+//
+// Honesty: warm multi-thread QPS only measures *scaling* when the machine
+// has at least as many cores as workers. Every data point records the
+// runtime hardware_concurrency and a per-point scaling_valid flag; the
+// top-level multi_thread_scaling_valid is false when any swept thread
+// count exceeds the core count, and the note says what the numbers then
+// mean (queueing overhead, not parallel speedup).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/check.h"
+#include "base/stopwatch.h"
+#include "bench/bench_util.h"
+#include "core/location_sanitizer.h"
+#include "eval/table.h"
+#include "service/sanitization_service.h"
+
+namespace geopriv::bench {
+namespace {
+
+// The paper's Austin study region (matches data::GowallaAustinLike()).
+constexpr double kMinLat = 30.1927, kMinLon = -97.8698;
+constexpr double kMaxLat = 30.3723, kMaxLon = -97.6618;
+
+std::vector<int> ParseThreadList(const std::string& spec) {
+  std::vector<int> out;
+  std::string token;
+  for (char c : spec + ",") {
+    if (c == ',') {
+      if (!token.empty()) out.push_back(std::atoi(token.c_str()));
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  GEOPRIV_CHECK_MSG(!out.empty(), "empty --threads list");
+  return out;
+}
+
+std::vector<core::LatLon> MakeQueries(int n) {
+  std::vector<core::LatLon> queries;
+  queries.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double u = (i % 97) / 96.0;
+    const double v = (i % 83) / 82.0;
+    queries.push_back({kMinLat + u * (kMaxLat - kMinLat),
+                       kMinLon + v * (kMaxLon - kMinLon)});
+  }
+  return queries;
+}
+
+double Percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct WarmPoint {
+  int threads = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double wall_seconds = 0.0;
+  // Plan-path coverage during the measured batch: levels served from the
+  // pinned plan vs. levels that fell through to the shared cache.
+  int64_t plan_levels = 0;
+  int64_t fallthrough_levels = 0;
+  int64_t plan_builds = 0;
+};
+
+struct BatchWalkResult {
+  int points = 0;
+  double sequential_seconds = 0.0;
+  double batch_seconds = 0.0;
+  bool bit_identical = true;
+};
+
+// Batched vs sequential walks on one warmed mechanism, same seed both
+// ways — the per-op delta is the per-level cache-lookup overhead the
+// batch memo (and above it, the serving plan) removes.
+BatchWalkResult RunBatchWalk(double eps, int g, int points) {
+  auto sanitizer = core::LocationSanitizer::Builder()
+                       .SetRegionLatLon(kMinLat, kMinLon, kMaxLat, kMaxLon)
+                       .SetEpsilon(eps)
+                       .SetGranularity(g)
+                       .SetPriorGranularity(32)
+                       .Build();
+  GEOPRIV_CHECK_OK(sanitizer.status());
+  GEOPRIV_CHECK_OK(sanitizer->PrewarmTopNodes(1000).status());
+
+  const geo::BBox domain = sanitizer->domain_km();
+  std::vector<geo::Point> targets;
+  targets.reserve(points);
+  for (int i = 0; i < points; ++i) {
+    const double u = (i % 89) / 88.0;
+    const double v = (i % 71) / 70.0;
+    targets.push_back({domain.min_x + u * (domain.max_x - domain.min_x),
+                       domain.min_y + v * (domain.max_y - domain.min_y)});
+  }
+
+  BatchWalkResult result;
+  result.points = points;
+  core::MultiStepMechanism& msm = sanitizer->mechanism();
+
+  rng::Rng rng_seq(20190326);
+  std::vector<geo::Point> sequential;
+  sequential.reserve(points);
+  {
+    const Stopwatch watch;
+    for (const geo::Point& target : targets) {
+      auto reported = msm.ReportOrStatus(target, rng_seq);
+      GEOPRIV_CHECK_OK(reported.status());
+      sequential.push_back(reported.value());
+    }
+    result.sequential_seconds = watch.ElapsedSeconds();
+  }
+
+  rng::Rng rng_batch(20190326);
+  {
+    const Stopwatch watch;
+    const auto batch = msm.ReportBatchOrStatus(targets, rng_batch);
+    result.batch_seconds = watch.ElapsedSeconds();
+    GEOPRIV_CHECK_MSG(batch.size() == sequential.size(),
+                      "batch size mismatch");
+    for (size_t i = 0; i < batch.size(); ++i) {
+      GEOPRIV_CHECK_OK(batch[i].status());
+      if (!(batch[i].value() == sequential[i])) result.bit_identical = false;
+    }
+  }
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::vector<int> thread_counts =
+      ParseThreadList(flags.GetString("threads", "1,2,4,8"));
+  const int requests = flags.GetInt("requests", 4000);
+  const int batch_points = flags.GetInt("batch_points", 200000);
+  const double eps = flags.GetDouble("eps", 0.5);
+  const int g = flags.GetInt("g", 3);
+  const std::string json_path = flags.GetString("json", "BENCH_serving.json");
+  const unsigned hc = std::thread::hardware_concurrency();
+
+  service::RegionConfig region;
+  region.min_lat = kMinLat;
+  region.min_lon = kMinLon;
+  region.max_lat = kMaxLat;
+  region.max_lon = kMaxLon;
+  region.eps = eps;
+  region.granularity = g;
+  region.prior_granularity = 32;
+  region.prewarm_nodes = 64;  // serve the measured batches fully warm
+
+  const auto queries = MakeQueries(requests);
+  std::vector<WarmPoint> points;
+  int max_threads = 0;
+  for (int threads : thread_counts) {
+    max_threads = std::max(max_threads, threads);
+    service::ServiceOptions options;
+    options.num_workers = threads;
+    options.queue_capacity = static_cast<size_t>(requests) + 16;
+    options.seed = 20190326;
+    auto service = service::SanitizationService::Create(options);
+    GEOPRIV_CHECK_OK(service.status());
+    GEOPRIV_CHECK_OK((*service)->RegisterRegion("austin", region));
+
+    // One throwaway batch finishes any lazy solves below the prewarmed
+    // frontier and settles the serving plan.
+    (*service)->SanitizeBatch("austin", queries);
+    auto before = (*service)->GetRegionInfo("austin");
+    GEOPRIV_CHECK_OK(before.status());
+
+    WarmPoint point;
+    point.threads = threads;
+    const Stopwatch watch;
+    const auto results = (*service)->SanitizeBatch("austin", queries);
+    point.wall_seconds = watch.ElapsedSeconds();
+    std::vector<double> latencies;
+    latencies.reserve(results.size());
+    for (const auto& r : results) {
+      GEOPRIV_CHECK_OK(r.status);
+      latencies.push_back(r.latency_ms);
+    }
+    std::sort(latencies.begin(), latencies.end());
+    point.qps =
+        point.wall_seconds > 0 ? requests / point.wall_seconds : 0.0;
+    point.p50_ms = Percentile(latencies, 0.50);
+    point.p99_ms = Percentile(latencies, 0.99);
+    const auto after = (*service)->GetRegionInfo("austin");
+    GEOPRIV_CHECK_OK(after.status());
+    point.plan_levels = after->msm.plan_levels - before->msm.plan_levels;
+    point.fallthrough_levels =
+        after->msm.fallthrough_levels - before->msm.fallthrough_levels;
+    point.plan_builds = after->msm.plan_builds;
+    points.push_back(point);
+    std::printf("threads=%d warm %.0f qps (plan %lld / fallthrough %lld)\n",
+                threads, point.qps,
+                static_cast<long long>(point.plan_levels),
+                static_cast<long long>(point.fallthrough_levels));
+  }
+
+  const BatchWalkResult walk = RunBatchWalk(eps, g, batch_points);
+  const bool scaling_valid = hc >= static_cast<unsigned>(max_threads);
+
+  std::printf("\nWarm serving hot path (requests=%d, eps=%g, g=%d, hc=%u)\n",
+              requests, eps, g, hc);
+  eval::Table table({"threads", "warm QPS", "p50 ms", "p99 ms",
+                     "plan lvls", "fallthrough"});
+  for (const auto& p : points) {
+    table.AddRow({std::to_string(p.threads), eval::Fmt(p.qps, 1),
+                  eval::Fmt(p.p50_ms, 3), eval::Fmt(p.p99_ms, 3),
+                  std::to_string(p.plan_levels),
+                  std::to_string(p.fallthrough_levels)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nBatch walk, %d points: sequential %.3f s, batched %.3f s "
+      "(%.2fx), bit-identical: %s\n",
+      walk.points, walk.sequential_seconds, walk.batch_seconds,
+      walk.batch_seconds > 0
+          ? walk.sequential_seconds / walk.batch_seconds
+          : 0.0,
+      walk.bit_identical ? "yes" : "NO");
+  if (!scaling_valid) {
+    std::printf(
+        "NOTE: hardware_concurrency=%u < max swept threads=%d — the "
+        "multi-thread QPS above measures queueing overhead, not parallel "
+        "scaling.\n",
+        hc, max_threads);
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"serving_hot_path\",\n"
+               "  \"requests\": %d,\n  \"eps\": %g,\n"
+               "  \"granularity\": %d,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"multi_thread_scaling_valid\": %s,\n"
+               "  \"note\": \"%s\",\n  \"points\": [\n",
+               requests, eps, g, hc, scaling_valid ? "true" : "false",
+               scaling_valid
+                   ? "core count covers every swept thread count"
+                   : "hardware_concurrency is below the max swept thread "
+                     "count; multi-thread QPS measures queueing overhead, "
+                     "not parallel scaling");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(
+        f,
+        "    {\"threads\": %d, \"hardware_concurrency\": %u,"
+        " \"scaling_valid\": %s, \"warm_qps\": %.2f,"
+        " \"p50_ms\": %.4f, \"p99_ms\": %.4f, \"wall_s\": %.4f,"
+        " \"plan_levels\": %lld, \"fallthrough_levels\": %lld,"
+        " \"plan_builds\": %lld}%s\n",
+        p.threads, hc,
+        hc >= static_cast<unsigned>(p.threads) ? "true" : "false", p.qps,
+        p.p50_ms, p.p99_ms, p.wall_seconds,
+        static_cast<long long>(p.plan_levels),
+        static_cast<long long>(p.fallthrough_levels),
+        static_cast<long long>(p.plan_builds),
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(
+      f,
+      "  ],\n  \"batch_walk\": {\"points\": %d,"
+      " \"sequential_s\": %.4f, \"batch_s\": %.4f,"
+      " \"speedup\": %.3f, \"bit_identical\": %s}\n}\n",
+      walk.points, walk.sequential_seconds, walk.batch_seconds,
+      walk.batch_seconds > 0 ? walk.sequential_seconds / walk.batch_seconds
+                             : 0.0,
+      walk.bit_identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nJSON written to %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace geopriv::bench
+
+int main(int argc, char** argv) { return geopriv::bench::Main(argc, argv); }

@@ -97,6 +97,11 @@ BatchMeasurement RunBatch(service::SanitizationService& service,
 struct DataPoint {
   int threads = 0;
   BatchMeasurement cold, warm;
+  // LP construction CPU-seconds paid during the cold batch (summed over
+  // workers, so it can exceed cold wall time on multi-core runs). Cold
+  // request latency bundles queueing + build + walk; this splits the
+  // one-time build cost out so the cold/warm gap is attributable.
+  double cold_lp_build_s = 0.0;
   int64_t lp_solves = 0;
   int64_t cache_hits = 0;
   size_t cache_size = 0;
@@ -135,6 +140,11 @@ int Main(int argc, char** argv) {
     DataPoint point;
     point.threads = threads;
     point.cold = RunBatch(**service, queries);  // pays LP solves
+    {
+      const auto cold_info = (*service)->GetRegionInfo("austin");
+      GEOPRIV_CHECK_OK(cold_info.status());
+      point.cold_lp_build_s = cold_info->msm.lp_seconds;
+    }
     point.warm = RunBatch(**service, queries);  // pure serving path
     const auto info = (*service)->GetRegionInfo("austin");
     GEOPRIV_CHECK_OK(info.status());
@@ -149,18 +159,31 @@ int Main(int argc, char** argv) {
 
   std::printf("\nService throughput scaling (requests=%d, eps=%g, g=%d)\n",
               requests, eps, g);
-  eval::Table table({"threads", "cold QPS", "cold p99 ms", "warm QPS",
-                     "warm p50 ms", "warm p99 ms", "LP solves", "hit rate"});
+  eval::Table table({"threads", "cold QPS", "cold p99 ms", "LP build s",
+                     "warm QPS", "warm p50 ms", "warm p99 ms", "LP solves",
+                     "hit rate"});
   for (const auto& p : points) {
     const double lookups =
         static_cast<double>(p.cache_hits + p.lp_solves);
     const double hit_rate = lookups > 0 ? p.cache_hits / lookups : 0.0;
     table.AddRow({std::to_string(p.threads), eval::Fmt(p.cold.qps, 1),
-                  eval::Fmt(p.cold.p99_ms, 3), eval::Fmt(p.warm.qps, 1),
+                  eval::Fmt(p.cold.p99_ms, 3),
+                  eval::Fmt(p.cold_lp_build_s, 4), eval::Fmt(p.warm.qps, 1),
                   eval::Fmt(p.warm.p50_ms, 3), eval::Fmt(p.warm.p99_ms, 3),
                   std::to_string(p.lp_solves), eval::Fmt(hit_rate, 3)});
   }
   table.Print(std::cout);
+  const unsigned hc = std::thread::hardware_concurrency();
+  int max_threads = 0;
+  for (const auto& p : points) max_threads = std::max(max_threads, p.threads);
+  const bool scaling_valid = hc >= static_cast<unsigned>(max_threads);
+  if (!scaling_valid) {
+    std::printf(
+        "NOTE: hardware_concurrency=%u < max swept threads=%d — "
+        "multi-thread QPS deltas measure queueing overhead, not parallel "
+        "scaling.\n",
+        hc, max_threads);
+  }
 
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
@@ -170,22 +193,26 @@ int Main(int argc, char** argv) {
   std::fprintf(f,
                "{\n  \"bench\": \"throughput_scaling\",\n"
                "  \"requests\": %d,\n  \"eps\": %g,\n  \"granularity\": %d,\n"
-               "  \"hardware_concurrency\": %u,\n  \"points\": [\n",
-               requests, eps, g, std::thread::hardware_concurrency());
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"multi_thread_scaling_valid\": %s,\n  \"points\": [\n",
+               requests, eps, g, hc, scaling_valid ? "true" : "false");
   for (size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];
     const double lookups = static_cast<double>(p.cache_hits + p.lp_solves);
     std::fprintf(
         f,
-        "    {\"threads\": %d,"
+        "    {\"threads\": %d, \"hardware_concurrency\": %u,"
+        " \"scaling_valid\": %s,"
         " \"cold\": {\"qps\": %.2f, \"p50_ms\": %.4f, \"p99_ms\": %.4f,"
-        " \"wall_s\": %.4f},"
+        " \"wall_s\": %.4f, \"lp_build_cpu_s\": %.4f},"
         " \"warm\": {\"qps\": %.2f, \"p50_ms\": %.4f, \"p99_ms\": %.4f,"
         " \"wall_s\": %.4f},"
         " \"lp_solves\": %lld, \"cache_hits\": %lld, \"cache_size\": %zu,"
         " \"singleflight_waits\": %llu, \"cache_hit_rate\": %.4f}%s\n",
-        p.threads, p.cold.qps, p.cold.p50_ms, p.cold.p99_ms,
-        p.cold.wall_seconds, p.warm.qps, p.warm.p50_ms, p.warm.p99_ms,
+        p.threads, hc,
+        hc >= static_cast<unsigned>(p.threads) ? "true" : "false",
+        p.cold.qps, p.cold.p50_ms, p.cold.p99_ms, p.cold.wall_seconds,
+        p.cold_lp_build_s, p.warm.qps, p.warm.p50_ms, p.warm.p99_ms,
         p.warm.wall_seconds, static_cast<long long>(p.lp_solves),
         static_cast<long long>(p.cache_hits), p.cache_size,
         static_cast<unsigned long long>(p.singleflight_waits),

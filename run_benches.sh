@@ -30,3 +30,19 @@ for b in build/bench/*; do
   timeout 2400 "$b"
   echo
 done
+
+# Honesty gate: a thread-sweep JSON produced on a box with fewer cores
+# than the sweep's max thread count contains no multi-thread scaling
+# evidence — refuse to let those numbers pass as speedup claims.
+for j in BENCH_service.json BENCH_serving.json BENCH_lp.json; do
+  [ -f "$j" ] || continue
+  if grep -q '"multi_thread_scaling_valid": false' "$j"; then
+    hc="$(grep -o '"hardware_concurrency": [0-9]*' "$j" | head -1 \
+          | grep -o '[0-9]*$')"
+    echo "REFUSED: $j was produced with hardware_concurrency=$hc, below" \
+         "the swept thread counts. Its multi-thread QPS/speedup numbers" \
+         "measure queueing overhead, NOT parallel scaling — do not cite" \
+         "them as speedups. Per-point scaling_valid flags say which" \
+         "points are trustworthy."
+  fi
+done

@@ -1,0 +1,43 @@
+// Per-thread slot assignment for cache-line-padded counter shards.
+//
+// Hot-path statistics (MSM walk counters, service request counters) used to
+// be single atomics: every worker's fetch_add landed on the same cache
+// line, so the "lock-free" counters still serialized the warm path through
+// cache-coherence traffic. The fix is standard: split each counter into N
+// padded slots, have every thread increment its own slot with a relaxed
+// add, and sum the slots at metrics-read time. Readers may observe a sum a
+// few events stale, which is the usual trade for contention-free recording.
+//
+// This header provides the two building blocks the sharded structs share:
+// the slot alignment and the thread -> slot mapping. Counter structs keep
+// their own `struct alignas(kCounterSlotAlign) Slot { ... }` arrays so the
+// member lists stay next to the code that interprets them (see
+// MultiStepMechanism::AtomicStats and service::Metrics).
+
+#ifndef GEOPRIV_BASE_SHARDED_COUNTER_H_
+#define GEOPRIV_BASE_SHARDED_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace geopriv {
+
+// Two destructive-interference lines: adjacent slots never share a line
+// even on CPUs that prefetch line pairs.
+inline constexpr std::size_t kCounterSlotAlign = 128;
+
+// Stable slot index in [0, num_slots) for the calling thread. Threads are
+// numbered round-robin on first use, so up to `num_slots` concurrent
+// threads get private slots and the assignment never changes for a live
+// thread. `num_slots` must be >= 1.
+inline int ThreadCounterSlot(int num_slots) {
+  static std::atomic<std::uint32_t> next_thread{0};
+  thread_local const std::uint32_t thread_ordinal =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(thread_ordinal %
+                          static_cast<std::uint32_t>(num_slots));
+}
+
+}  // namespace geopriv
+
+#endif  // GEOPRIV_BASE_SHARDED_COUNTER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <limits>
 #include <mutex>
 #include <queue>
 #include <utility>
@@ -28,23 +29,29 @@ StatusOr<MultiStepMechanism> MultiStepMechanism::Create(
 
 MsmStats MultiStepMechanism::stats() const {
   MsmStats snapshot;
-  snapshot.lp_solves = stats_->lp_solves.load(std::memory_order_relaxed);
-  snapshot.lp_seconds = stats_->lp_seconds.load(std::memory_order_relaxed);
-  snapshot.cache_hits = stats_->cache_hits.load(std::memory_order_relaxed);
+  for (const AtomicStats::Slot& slot : stats_->slots) {
+    snapshot.lp_solves += slot.lp_solves.load(std::memory_order_relaxed);
+    snapshot.lp_seconds += slot.lp_seconds.load(std::memory_order_relaxed);
+    snapshot.cache_hits += slot.cache_hits.load(std::memory_order_relaxed);
+    snapshot.lp_pricing_seconds +=
+        slot.lp_pricing_seconds.load(std::memory_order_relaxed);
+    snapshot.lp_simplex_seconds +=
+        slot.lp_simplex_seconds.load(std::memory_order_relaxed);
+    snapshot.lp_violations_found +=
+        slot.lp_violations_found.load(std::memory_order_relaxed);
+    snapshot.degraded_rows +=
+        slot.degraded_rows.load(std::memory_order_relaxed);
+    snapshot.uniform_prior_fallbacks +=
+        slot.uniform_prior_fallbacks.load(std::memory_order_relaxed);
+    snapshot.plan_builds += slot.plan_builds.load(std::memory_order_relaxed);
+    snapshot.plan_levels += slot.plan_levels.load(std::memory_order_relaxed);
+    snapshot.fallthrough_levels +=
+        slot.fallthrough_levels.load(std::memory_order_relaxed);
+  }
   snapshot.cache_evictions = static_cast<int64_t>(cache_->evictions());
   snapshot.cache_bytes_resident =
       static_cast<int64_t>(cache_->bytes_resident());
   snapshot.cache_hit_rate = cache_->hit_rate();
-  snapshot.lp_pricing_seconds =
-      stats_->lp_pricing_seconds.load(std::memory_order_relaxed);
-  snapshot.lp_simplex_seconds =
-      stats_->lp_simplex_seconds.load(std::memory_order_relaxed);
-  snapshot.lp_violations_found =
-      stats_->lp_violations_found.load(std::memory_order_relaxed);
-  snapshot.degraded_rows =
-      stats_->degraded_rows.load(std::memory_order_relaxed);
-  snapshot.uniform_prior_fallbacks =
-      stats_->uniform_prior_fallbacks.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -70,7 +77,8 @@ MultiStepMechanism::BuildNodeMechanism(spatial::NodeIndex node,
     // operators can see how often the mechanism runs blind.
     std::fill(node_prior.begin(), node_prior.end(),
               1.0 / static_cast<double>(node_prior.size()));
-    stats_->uniform_prior_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    stats_->Local().uniform_prior_fallbacks.fetch_add(
+        1, std::memory_order_relaxed);
   }
   GEOPRIV_CHECK_MSG(level >= 1 && level <= budget_.height(),
                     "level outside allocation");
@@ -80,16 +88,16 @@ MultiStepMechanism::BuildNodeMechanism(spatial::NodeIndex node,
                                            std::move(centers), node_prior,
                                            options_.metric, options_.opt));
   const mechanisms::OptSolveStats& os = mech.stats();
-  stats_->lp_solves.fetch_add(1, std::memory_order_relaxed);
-  stats_->lp_seconds.fetch_add(os.solve_seconds, std::memory_order_relaxed);
-  stats_->lp_pricing_seconds.fetch_add(os.pricing_seconds,
-                                       std::memory_order_relaxed);
-  stats_->lp_simplex_seconds.fetch_add(os.simplex_seconds,
-                                       std::memory_order_relaxed);
-  stats_->lp_violations_found.fetch_add(os.violations_found,
-                                        std::memory_order_relaxed);
-  stats_->degraded_rows.fetch_add(os.degraded_rows,
-                                  std::memory_order_relaxed);
+  AtomicStats::Slot& slot = stats_->Local();
+  slot.lp_solves.fetch_add(1, std::memory_order_relaxed);
+  slot.lp_seconds.fetch_add(os.solve_seconds, std::memory_order_relaxed);
+  slot.lp_pricing_seconds.fetch_add(os.pricing_seconds,
+                                    std::memory_order_relaxed);
+  slot.lp_simplex_seconds.fetch_add(os.simplex_seconds,
+                                    std::memory_order_relaxed);
+  slot.lp_violations_found.fetch_add(os.violations_found,
+                                     std::memory_order_relaxed);
+  slot.degraded_rows.fetch_add(os.degraded_rows, std::memory_order_relaxed);
   return std::make_unique<mechanisms::OptimalMechanism>(std::move(mech));
 }
 
@@ -105,7 +113,9 @@ MultiStepMechanism::NodeMechanism(spatial::NodeIndex node, int level) const {
   bool hit = false;
   auto result = cache_->GetOrCompute(
       node, [&] { return BuildNodeMechanism(node, level); }, &hit);
-  if (hit) stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+  if (hit) {
+    stats_->Local().cache_hits.fetch_add(1, std::memory_order_relaxed);
+  }
   return result;
 }
 
@@ -206,15 +216,178 @@ StatusOr<int> MultiStepMechanism::PrewarmTopNodes(int k,
   return shared->warmed;
 }
 
-StatusOr<geo::Point> MultiStepMechanism::ReportOrStatus(
-    geo::Point actual, rng::Rng& rng) const {
+std::shared_ptr<const MultiStepMechanism::ServingPlan>
+MultiStepMechanism::BuildPlan(uint64_t generation) const {
+  auto plan = std::make_shared<ServingPlan>();
+  plan->generation = generation;
+  stats_->Local().plan_builds.fetch_add(1, std::memory_order_relaxed);
+
+  // Pins make entries unevictable, so a bounded cache only lends the plan
+  // half its budget — the evictor always keeps a working pool.
+  const size_t byte_cap = options_.cache_byte_budget > 0
+                              ? options_.cache_byte_budget / 2
+                              : std::numeric_limits<size_t>::max();
+  const size_t node_cap =
+      options_.serving_plan_max_nodes > 0
+          ? static_cast<size_t>(options_.serving_plan_max_nodes)
+          : 0;
+
+  const spatial::NodeIndex root = spatial::HierarchicalPartition::kRoot;
+  if (budget_.height() < 1 || node_cap == 0 || index_->IsLeaf(root)) {
+    return plan;
+  }
+  NodeMechanismCache::MechanismPtr root_mech = cache_->TryGet(root);
+  if (root_mech == nullptr || root_mech->MemoryFootprintBytes() > byte_cap) {
+    return plan;
+  }
+  plan->pinned_bytes = root_mech->MemoryFootprintBytes();
+  plan->mech.push_back(std::move(root_mech));
+  plan->child_begin.push_back(0);
+  plan->child_count.push_back(0);
+
+  // BFS: a node is admitted (mechanism pinned, plan id assigned) before it
+  // is expanded, so parents always precede children and child_plan links
+  // only ever point at finished plan nodes.
+  struct Item {
+    spatial::NodeIndex node;
+    int level;  // budget level of choosing among this node's children
+    int32_t plan_id;
+  };
+  std::vector<Item> queue;
+  queue.push_back({root, 1, 0});
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const Item item = queue[qi];
+    const std::vector<spatial::ChildInfo> children =
+        index_->Children(item.node);
+    plan->child_begin[item.plan_id] =
+        static_cast<int32_t>(plan->child_id.size());
+    plan->child_count[item.plan_id] = static_cast<int32_t>(children.size());
+    for (const spatial::ChildInfo& c : children) {
+      plan->min_x.push_back(c.bounds.min_x);
+      plan->min_y.push_back(c.bounds.min_y);
+      plan->max_x.push_back(c.bounds.max_x);
+      plan->max_y.push_back(c.bounds.max_y);
+      const geo::Point center = c.bounds.Center();
+      plan->center_x.push_back(center.x);
+      plan->center_y.push_back(center.y);
+      plan->child_id.push_back(c.id);
+      const bool leaf = index_->IsLeaf(c.id);
+      plan->child_is_leaf.push_back(leaf ? 1 : 0);
+      int32_t child_plan = -1;
+      if (!leaf && item.level + 1 <= budget_.height() &&
+          plan->mech.size() < node_cap) {
+        NodeMechanismCache::MechanismPtr m = cache_->TryGet(c.id);
+        if (m != nullptr) {
+          const size_t bytes = m->MemoryFootprintBytes();
+          if (plan->pinned_bytes + bytes <= byte_cap) {
+            child_plan = static_cast<int32_t>(plan->mech.size());
+            plan->pinned_bytes += bytes;
+            plan->mech.push_back(std::move(m));
+            plan->child_begin.push_back(0);
+            plan->child_count.push_back(0);
+            queue.push_back({c.id, item.level + 1, child_plan});
+          }
+        }
+      }
+      plan->child_plan.push_back(child_plan);
+    }
+  }
+  return plan;
+}
+
+std::shared_ptr<const MultiStepMechanism::ServingPlan>
+MultiStepMechanism::CurrentPlan() const {
+  if (!options_.serving_plan || !options_.cache_nodes) return nullptr;
+  std::shared_ptr<const ServingPlan> plan =
+      plan_state_->plan.load(std::memory_order_acquire);
+  const uint64_t gen = cache_->generation();
+  if (plan != nullptr && plan->generation == gen) return plan;
+  bool expected = false;
+  if (!plan_state_->building.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    // A rebuild is in flight. The stale plan (or none, on a cold start)
+    // is still safe: its pins keep every matrix it references alive.
+    return plan;
+  }
+  std::shared_ptr<const ServingPlan> rebuilt = BuildPlan(gen);
+  plan_state_->plan.store(rebuilt, std::memory_order_release);
+  plan_state_->building.store(false, std::memory_order_release);
+  return rebuilt;
+}
+
+size_t MultiStepMechanism::serving_plan_nodes() const {
+  const std::shared_ptr<const ServingPlan> plan = CurrentPlan();
+  return plan == nullptr ? 0 : plan->mech.size();
+}
+
+StatusOr<geo::Point> MultiStepMechanism::WalkOne(const ServingPlan* plan,
+                                                 geo::Point actual,
+                                                 rng::Rng& rng,
+                                                 NodeMemo* memo) const {
   spatial::NodeIndex node = spatial::HierarchicalPartition::kRoot;
   geo::Point reported = index_->Bounds(node).Center();
-  for (int level = 1; level <= budget_.height(); ++level) {
+  int level = 1;
+
+  // Phase 1: pinned-plan walk. No locks, no cache probes, no per-level
+  // refcount traffic — the caller's plan pointer pins everything. The
+  // candidate scan, the uniform fallback, and ReportIndex consume `rng`
+  // exactly as the cache path below does, so the two phases compose into
+  // a walk bit-identical to the pre-plan implementation.
+  if (plan != nullptr && !plan->empty()) {
+    int64_t plan_levels = 0;
+    bool done = false;
+    int32_t p = 0;
+    for (;;) {
+      const int32_t begin = plan->child_begin[p];
+      const int32_t count = plan->child_count[p];
+      // Snap the actual location to its enclosing child; random if
+      // outside the current node (Algorithm 1, lines 9-10).
+      int x = -1;
+      for (int32_t c = 0; c < count; ++c) {
+        const int32_t s = begin + c;
+        if (actual.x >= plan->min_x[s] && actual.x <= plan->max_x[s] &&
+            actual.y >= plan->min_y[s] && actual.y <= plan->max_y[s]) {
+          x = static_cast<int>(c);
+          break;
+        }
+      }
+      if (x < 0) {
+        x = static_cast<int>(rng.UniformInt(static_cast<size_t>(count)));
+      }
+      const int z = plan->mech[p]->ReportIndex(x, rng);
+      const int32_t s = begin + z;
+      reported = {plan->center_x[s], plan->center_y[s]};
+      node = plan->child_id[s];
+      ++level;
+      ++plan_levels;
+      if (level > budget_.height() || plan->child_is_leaf[s] != 0) {
+        done = true;
+        break;
+      }
+      const int32_t next = plan->child_plan[s];
+      if (next < 0) break;  // cold subtree: resume on the cache path
+      p = next;
+    }
+    stats_->Local().plan_levels.fetch_add(plan_levels,
+                                          std::memory_order_relaxed);
+    if (done) return reported;
+  }
+
+  // Phase 2: singleflight-cache walk for whatever the plan didn't cover
+  // (everything, when no plan is available).
+  int64_t fallthrough_levels = 0;
+  for (; level <= budget_.height(); ++level) {
     if (index_->IsLeaf(node)) break;  // adaptive indexes may bottom out
     const std::vector<spatial::ChildInfo> children = index_->Children(node);
-    GEOPRIV_ASSIGN_OR_RETURN(const NodeMechanismCache::MechanismPtr mech,
-                             NodeMechanism(node, level));
+    NodeMechanismCache::MechanismPtr mech;
+    if (memo != nullptr) {
+      auto it = memo->find(node);
+      if (it != memo->end()) mech = it->second;
+    }
+    if (mech == nullptr) {
+      GEOPRIV_ASSIGN_OR_RETURN(mech, NodeMechanism(node, level));
+      if (memo != nullptr) memo->emplace(node, mech);
+    }
     // Snap the actual location to its enclosing child; random if outside
     // the current node (Algorithm 1, lines 9-10).
     int x = -1;
@@ -230,8 +403,41 @@ StatusOr<geo::Point> MultiStepMechanism::ReportOrStatus(
     const int z = mech->ReportIndex(x, rng);
     node = children[z].id;
     reported = children[z].bounds.Center();
+    ++fallthrough_levels;
+  }
+  if (fallthrough_levels > 0) {
+    stats_->Local().fallthrough_levels.fetch_add(fallthrough_levels,
+                                                 std::memory_order_relaxed);
   }
   return reported;
+}
+
+StatusOr<geo::Point> MultiStepMechanism::ReportOrStatus(
+    geo::Point actual, rng::Rng& rng) const {
+  return ReportOrStatus(actual, rng, nullptr);
+}
+
+StatusOr<geo::Point> MultiStepMechanism::ReportOrStatus(
+    geo::Point actual, rng::Rng& rng, NodeMemo* memo) const {
+  const std::shared_ptr<const ServingPlan> plan = CurrentPlan();
+  return WalkOne(plan.get(), actual, rng, memo);
+}
+
+std::vector<StatusOr<geo::Point>> MultiStepMechanism::ReportBatchOrStatus(
+    const std::vector<geo::Point>& actuals, rng::Rng& rng) const {
+  std::vector<StatusOr<geo::Point>> out;
+  out.reserve(actuals.size());
+  // One plan pin and one memo for the whole batch: each node's mechanism
+  // is resolved at most once however many points walk through it. Points
+  // are processed in submission order, never regrouped — regrouping would
+  // permute the RNG draw sequence and break bit-identity with the
+  // sequential calls.
+  const std::shared_ptr<const ServingPlan> plan = CurrentPlan();
+  NodeMemo memo;
+  for (const geo::Point& actual : actuals) {
+    out.push_back(WalkOne(plan.get(), actual, rng, &memo));
+  }
+  return out;
 }
 
 geo::Point MultiStepMechanism::Report(geo::Point actual, rng::Rng& rng) {

@@ -97,10 +97,24 @@ StatusOr<NodeMechanismCache::MechanismPtr> NodeMechanismCache::GetOrCompute(
       entry->bytes = bytes;
       entry->last_used.store(NextTick(), std::memory_order_relaxed);
       bytes_resident_.fetch_add(bytes, std::memory_order_relaxed);
+      BumpGeneration();
     }
   }
   if (byte_budget_ > 0) EvictToBudget();
   return entry->mech;
+}
+
+NodeMechanismCache::MechanismPtr NodeMechanismCache::TryGet(
+    spatial::NodeIndex node) {
+  Shard& shard = ShardFor(node);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(node);
+  if (it == shard.map.end() ||
+      !it->second->ready.load(std::memory_order_acquire) ||
+      !it->second->status.ok()) {
+    return nullptr;
+  }
+  return it->second->mech;
 }
 
 bool NodeMechanismCache::Evictable(const std::shared_ptr<Entry>& entry) {
@@ -138,10 +152,12 @@ bool NodeMechanismCache::TryEvictOne() {
   bytes_resident_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
   evictions_.fetch_add(1, std::memory_order_relaxed);
   shard.map.erase(it);
+  BumpGeneration();
   return true;
 }
 
 void NodeMechanismCache::EvictToBudget() {
+  if (byte_budget_ == 0) return;
   // The attempt bound keeps a pathological race (entries re-pinned
   // between the two phases forever) from spinning; in practice one pass
   // per over-budget entry suffices.
@@ -178,6 +194,7 @@ void NodeMechanismCache::Clear() {
     }
     shard.map.clear();
   }
+  BumpGeneration();
 }
 
 }  // namespace geopriv::core

@@ -72,6 +72,21 @@ class NodeMechanismCache {
                                       const Factory& factory,
                                       bool* cache_hit = nullptr);
 
+  // Non-building probe: the pinned mechanism when `node` is resident and
+  // successfully built, nullptr otherwise (absent, in flight, or failed).
+  // Does not count as a lookup and does not touch LRU recency — serving-
+  // plan builders use it to pin what is already warm without skewing the
+  // hit rate or protecting cold entries.
+  MechanismPtr TryGet(spatial::NodeIndex node);
+
+  // Monotonic counter bumped on every map mutation that can change what a
+  // serving plan would pin: a successful publish, an eviction, a Clear().
+  // Plans record the value they were built against and rebuild on
+  // mismatch (see MultiStepMechanism's serving plan).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
   // Number of completed (successfully built) entries.
   size_t size() const;
 
@@ -93,6 +108,12 @@ class NodeMechanismCache {
     return evictions_.load(std::memory_order_relaxed);
   }
 
+  // Total GetOrCompute calls (TryGet probes excluded). The serving-plan
+  // tests assert this stays flat across fully warm walks.
+  uint64_t lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+
   // Fraction of GetOrCompute calls answered from a ready entry.
   double hit_rate() const {
     const uint64_t lookups = lookups_.load(std::memory_order_relaxed);
@@ -104,6 +125,14 @@ class NodeMechanismCache {
   }
 
   void Clear();
+
+  // Evicts LRU entries until bytes_resident() <= byte_budget() or nothing
+  // evictable remains. No-op when unbounded or already within budget. The
+  // insert path runs this after charging a new entry; pin-holding callers
+  // (batch walkers, plan rebuilders) run it when they release their pins,
+  // since entries they pinned at insert time were skipped by the evictor
+  // and would otherwise stay resident over budget until the next insert.
+  void EvictToBudget();
 
  private:
   struct Entry {
@@ -134,6 +163,10 @@ class NodeMechanismCache {
 
   uint64_t NextTick() { return tick_.fetch_add(1, std::memory_order_relaxed); }
 
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+
   // True when the entry is a completed success nobody else references:
   // the map holds the only Entry handle and the cache holds the only
   // mechanism handle. Callers must hold the entry's shard lock (shared is
@@ -141,14 +174,12 @@ class NodeMechanismCache {
   // under the unique lock before the erase).
   static bool Evictable(const std::shared_ptr<Entry>& entry);
 
-  // Evicts LRU entries until bytes_resident_ <= byte_budget_ or nothing
-  // evictable remains. Never called with a shard lock held.
-  void EvictToBudget();
   // One eviction attempt; false when no shard has an evictable entry.
   bool TryEvictOne();
 
   std::vector<Shard> shards_;
   const size_t byte_budget_;
+  std::atomic<uint64_t> generation_{0};
   std::atomic<uint64_t> tick_{1};
   std::atomic<size_t> bytes_resident_{0};
   std::atomic<uint64_t> evictions_{0};

@@ -25,26 +25,30 @@ void LatencyHistogram::Record(double seconds) {
   sum_seconds_.fetch_add(seconds, std::memory_order_relaxed);
 }
 
-double LatencyHistogram::Quantile(double q) const {
-  q = std::clamp(q, 0.0, 1.0);
-  uint64_t counts[kNumBuckets];
-  uint64_t total = 0;
+void LatencyHistogram::AccumulateBuckets(BucketCounts& counts) const {
   for (int i = 0; i < kNumBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
+    counts[static_cast<size_t>(i)] +=
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
   }
+}
+
+double LatencyHistogram::QuantileFromBuckets(const BucketCounts& counts,
+                                             double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
   if (total == 0) return 0.0;
   const double target = q * static_cast<double>(total);
   uint64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    if (counts[i] == 0) continue;
-    const uint64_t next = seen + counts[i];
+    const uint64_t c = counts[static_cast<size_t>(i)];
+    if (c == 0) continue;
+    const uint64_t next = seen + c;
     if (static_cast<double>(next) >= target) {
       // Linear interpolation inside the bucket's [lower, upper) span.
       const double lower = i == 0 ? 0.0 : BucketBound(i - 1);
       const double upper = BucketBound(i);
-      const double within =
-          (target - static_cast<double>(seen)) / counts[i];
+      const double within = (target - static_cast<double>(seen)) / c;
       return lower + within * (upper - lower);
     }
     seen = next;
@@ -52,25 +56,55 @@ double LatencyHistogram::Quantile(double q) const {
   return BucketBound(kNumBuckets - 1);
 }
 
+double LatencyHistogram::Quantile(double q) const {
+  BucketCounts counts{};
+  AccumulateBuckets(counts);
+  return QuantileFromBuckets(counts, q);
+}
+
+Metrics::Metrics(int num_slots)
+    : slots_(static_cast<size_t>(num_slots > 0 ? num_slots : 1)) {}
+
+uint64_t Metrics::latency_count() const {
+  uint64_t total = 0;
+  for (const Slot& s : slots_) total += s.latency.count();
+  return total;
+}
+
+double Metrics::latency_total_seconds() const {
+  double total = 0.0;
+  for (const Slot& s : slots_) total += s.latency.total_seconds();
+  return total;
+}
+
 MetricsSnapshot Metrics::Snapshot() const {
   MetricsSnapshot s;
-  s.requests_total = requests_total_.load(std::memory_order_relaxed);
-  s.requests_ok = requests_ok_.load(std::memory_order_relaxed);
-  s.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
-  s.requests_failed = requests_failed_.load(std::memory_order_relaxed);
-  s.fallbacks_total = fallbacks_total_.load(std::memory_order_relaxed);
-  s.fallbacks_deadline = fallbacks_deadline_.load(std::memory_order_relaxed);
-  s.fallbacks_mechanism =
-      fallbacks_mechanism_.load(std::memory_order_relaxed);
-  s.deadline_overruns = deadline_overruns_.load(std::memory_order_relaxed);
-  s.latency_count = latency_.count();
-  s.latency_p50_ms = latency_.Quantile(0.50) * 1e3;
-  s.latency_p90_ms = latency_.Quantile(0.90) * 1e3;
-  s.latency_p99_ms = latency_.Quantile(0.99) * 1e3;
+  LatencyHistogram::BucketCounts buckets{};
+  double latency_sum_seconds = 0.0;
+  for (const Slot& slot : slots_) {
+    s.requests_total += slot.requests_total.load(std::memory_order_relaxed);
+    s.requests_ok += slot.requests_ok.load(std::memory_order_relaxed);
+    s.requests_rejected +=
+        slot.requests_rejected.load(std::memory_order_relaxed);
+    s.requests_failed += slot.requests_failed.load(std::memory_order_relaxed);
+    s.fallbacks_total += slot.fallbacks_total.load(std::memory_order_relaxed);
+    s.fallbacks_deadline +=
+        slot.fallbacks_deadline.load(std::memory_order_relaxed);
+    s.fallbacks_mechanism +=
+        slot.fallbacks_mechanism.load(std::memory_order_relaxed);
+    s.deadline_overruns +=
+        slot.deadline_overruns.load(std::memory_order_relaxed);
+    s.latency_count += slot.latency.count();
+    latency_sum_seconds += slot.latency.total_seconds();
+    slot.latency.AccumulateBuckets(buckets);
+  }
+  s.latency_p50_ms = LatencyHistogram::QuantileFromBuckets(buckets, 0.50) * 1e3;
+  s.latency_p90_ms = LatencyHistogram::QuantileFromBuckets(buckets, 0.90) * 1e3;
+  s.latency_p99_ms = LatencyHistogram::QuantileFromBuckets(buckets, 0.99) * 1e3;
   s.latency_mean_ms =
       s.latency_count == 0
           ? 0.0
-          : latency_.total_seconds() / s.latency_count * 1e3;
+          : latency_sum_seconds / static_cast<double>(s.latency_count) * 1e3;
   return s;
 }
 

@@ -5,6 +5,13 @@
 // a consistent-enough snapshot for operational dashboards (counters may be
 // a few events apart, which is the standard trade for contention-free
 // recording).
+//
+// The registry is sharded: counters and histogram live in cache-line-
+// padded per-slot copies, and recording threads write only their own slot
+// (the service gives each worker its own slot and keeps slot 0 for
+// submission-side events). Relaxed fetch_adds on distinct cache lines
+// never contend, so recording scales with worker count; Snapshot() sums
+// the slots at read time.
 
 #ifndef GEOPRIV_SERVICE_METRICS_H_
 #define GEOPRIV_SERVICE_METRICS_H_
@@ -13,6 +20,9 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "base/sharded_counter.h"
 
 namespace geopriv::service {
 
@@ -24,6 +34,8 @@ class LatencyHistogram {
   static constexpr int kNumBuckets = 28;
   static constexpr double kFirstBoundSeconds = 1e-6;
 
+  using BucketCounts = std::array<uint64_t, kNumBuckets>;
+
   // Corrupt samples are clamped, never dropped and never poisonous:
   // NaN/negative count as 0, +inf as the top bucket bound (so one bad
   // sample cannot make sum_seconds_ — and every later mean — non-finite).
@@ -31,6 +43,12 @@ class LatencyHistogram {
 
   // Quantile estimate in seconds, q in [0, 1]. Returns 0 with no samples.
   double Quantile(double q) const;
+
+  // Adds this histogram's buckets into `counts` — how sharded registries
+  // merge their per-slot histograms before extracting quantiles.
+  void AccumulateBuckets(BucketCounts& counts) const;
+  // The Quantile() estimator over caller-merged bucket counts.
+  static double QuantileFromBuckets(const BucketCounts& counts, double q);
 
   uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
@@ -69,42 +87,72 @@ struct MetricsSnapshot {
 
 class Metrics {
  public:
-  void RecordAccepted() { Inc(requests_total_); }
-  void RecordRejected() { Inc(requests_rejected_); }
-  void RecordOk() { Inc(requests_ok_); }
-  void RecordFailed() { Inc(requests_failed_); }
-  void RecordDeadlineFallback() {
-    Inc(fallbacks_total_);
-    Inc(fallbacks_deadline_);
+  // `num_slots` padded slots (>= 1). Record* calls name the recording
+  // slot; out-of-range slots are folded in with ThreadCounterSlot so a
+  // caller that over- or under-provisions still records safely, just with
+  // possible sharing.
+  explicit Metrics(int num_slots = 1);
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  void RecordAccepted(int slot = 0) { Inc(At(slot).requests_total); }
+  void RecordRejected(int slot = 0) { Inc(At(slot).requests_rejected); }
+  void RecordOk(int slot = 0) { Inc(At(slot).requests_ok); }
+  void RecordFailed(int slot = 0) { Inc(At(slot).requests_failed); }
+  void RecordDeadlineFallback(int slot = 0) {
+    Slot& s = At(slot);
+    Inc(s.fallbacks_total);
+    Inc(s.fallbacks_deadline);
   }
-  void RecordMechanismFallback() {
-    Inc(fallbacks_total_);
-    Inc(fallbacks_mechanism_);
+  void RecordMechanismFallback(int slot = 0) {
+    Slot& s = At(slot);
+    Inc(s.fallbacks_total);
+    Inc(s.fallbacks_mechanism);
   }
-  void RecordDeadlineOverrun() { Inc(deadline_overruns_); }
-  void RecordLatency(double seconds) { latency_.Record(seconds); }
+  void RecordDeadlineOverrun(int slot = 0) { Inc(At(slot).deadline_overruns); }
+  void RecordLatency(double seconds, int slot = 0) {
+    At(slot).latency.Record(seconds);
+  }
 
   MetricsSnapshot Snapshot() const;
 
   // The snapshot as a JSON object (one line, stable key order).
   std::string ToJson() const;
 
-  const LatencyHistogram& latency() const { return latency_; }
+  int num_slots() const { return static_cast<int>(slots_.size()); }
+
+  // Aggregates across slots (the per-slot histograms stay private).
+  uint64_t latency_count() const;
+  double latency_total_seconds() const;
 
  private:
+  struct alignas(kCounterSlotAlign) Slot {
+    std::atomic<uint64_t> requests_total{0};
+    std::atomic<uint64_t> requests_ok{0};
+    std::atomic<uint64_t> requests_rejected{0};
+    std::atomic<uint64_t> requests_failed{0};
+    std::atomic<uint64_t> fallbacks_total{0};
+    std::atomic<uint64_t> fallbacks_deadline{0};
+    std::atomic<uint64_t> fallbacks_mechanism{0};
+    std::atomic<uint64_t> deadline_overruns{0};
+    LatencyHistogram latency;
+  };
+
   static void Inc(std::atomic<uint64_t>& c) {
     c.fetch_add(1, std::memory_order_relaxed);
   }
 
-  std::atomic<uint64_t> requests_total_{0};
-  std::atomic<uint64_t> requests_ok_{0};
-  std::atomic<uint64_t> requests_rejected_{0};
-  std::atomic<uint64_t> requests_failed_{0};
-  std::atomic<uint64_t> fallbacks_total_{0};
-  std::atomic<uint64_t> fallbacks_deadline_{0};
-  std::atomic<uint64_t> fallbacks_mechanism_{0};
-  std::atomic<uint64_t> deadline_overruns_{0};
-  LatencyHistogram latency_;
+  Slot& At(int slot) {
+    if (slot < 0 || slot >= static_cast<int>(slots_.size())) {
+      slot = ThreadCounterSlot(static_cast<int>(slots_.size()));
+    }
+    return slots_[static_cast<size_t>(slot)];
+  }
+
+  // vector, not array: slot count is a runtime choice (worker count + 1).
+  // Constructed once, never resized — atomics stay put.
+  std::vector<Slot> slots_;
 };
 
 // Escapes `s` for embedding inside a JSON string literal: quote,

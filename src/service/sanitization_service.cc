@@ -36,12 +36,20 @@ StatusOr<std::unique_ptr<SanitizationService>> SanitizationService::Create(
   if (options.default_deadline_ms < 0.0) {
     return Status::InvalidArgument("default_deadline_ms must be >= 0");
   }
+  if (options.batch_chunk_size < 1) {
+    return Status::InvalidArgument("batch_chunk_size must be >= 1");
+  }
   return std::unique_ptr<SanitizationService>(
       new SanitizationService(options));
 }
 
 SanitizationService::SanitizationService(const ServiceOptions& options)
-    : options_(options) {
+    : options_(options),
+      // Slot 0 records submission-side events; worker w records into
+      // slot w + 1 — no two threads share a counter cache line.
+      metrics_(options.num_workers + 1) {
+  snapshot_.store(std::make_shared<const RegistrySnapshot>(),
+                  std::memory_order_release);
   worker_rngs_.reserve(static_cast<size_t>(options.num_workers));
   for (int w = 0; w < options.num_workers; ++w) {
     worker_rngs_.emplace_back(WorkerSeed(options.seed, w));
@@ -63,17 +71,22 @@ Status SanitizationService::RegisterRegion(const std::string& region_id,
   // Reserve the id before the build: a duplicate registration — including
   // a concurrent one — fails here without paying seconds of LP/prior
   // work, and two racing registrations of the same id build only once.
+  // The reservation lives in building_, never in a snapshot, so readers
+  // cannot observe a half-built region.
   {
-    std::unique_lock<std::shared_mutex> lock(registry_mu_);
-    if (!regions_.emplace(region_id, nullptr).second) {
+    std::lock_guard<std::mutex> lock(registry_writer_mu_);
+    const std::shared_ptr<const RegistrySnapshot> snap =
+        snapshot_.load(std::memory_order_acquire);
+    if (snap->regions.count(region_id) > 0 ||
+        !building_.insert(region_id).second) {
       return Status::FailedPrecondition("region '" + region_id +
                                         "' is already registered");
     }
   }
   // From here on, every failure path must release the reservation.
   const auto release = [&] {
-    std::unique_lock<std::shared_mutex> lock(registry_mu_);
-    regions_.erase(region_id);
+    std::lock_guard<std::mutex> lock(registry_writer_mu_);
+    building_.erase(region_id);
   };
 
   core::LocationSanitizer::Builder builder;
@@ -128,19 +141,51 @@ Status SanitizationService::RegisterRegion(const std::string& region_id,
     region->prewarmed_nodes = warmed.ok() ? warmed.value() : 0;
   }
 
-  // Fill the reservation. The slot still holds our nullptr: only the
-  // reserving call may publish into or erase it.
-  std::unique_lock<std::shared_mutex> lock(registry_mu_);
-  regions_[region_id] = std::move(region);
+  // Copy-publish a snapshot containing the new region and drop the
+  // reservation. Readers flip to it on their next atomic load.
+  std::lock_guard<std::mutex> lock(registry_writer_mu_);
+  std::unordered_map<std::string, std::shared_ptr<Region>> regions =
+      snapshot_.load(std::memory_order_acquire)->regions;
+  regions.emplace(region_id, std::move(region));
+  PublishLocked(std::move(regions));
+  building_.erase(region_id);
   return Status::OK();
+}
+
+Status SanitizationService::UnregisterRegion(const std::string& region_id) {
+  std::lock_guard<std::mutex> lock(registry_writer_mu_);
+  if (building_.count(region_id) > 0) {
+    return Status::FailedPrecondition("region '" + region_id +
+                                      "' is still being built");
+  }
+  std::unordered_map<std::string, std::shared_ptr<Region>> regions =
+      snapshot_.load(std::memory_order_acquire)->regions;
+  if (regions.erase(region_id) == 0) {
+    return Status::NotFound("unknown region '" + region_id + "'");
+  }
+  PublishLocked(std::move(regions));
+  return Status::OK();
+}
+
+void SanitizationService::PublishLocked(
+    std::unordered_map<std::string, std::shared_ptr<Region>> regions) {
+  auto next = std::make_shared<RegistrySnapshot>();
+  next->regions = std::move(regions);
+  next->epoch = snapshot_.load(std::memory_order_acquire)->epoch + 1;
+  snapshot_.store(std::shared_ptr<const RegistrySnapshot>(std::move(next)),
+                  std::memory_order_release);
+}
+
+uint64_t SanitizationService::snapshot_epoch() const {
+  return snapshot_.load(std::memory_order_acquire)->epoch;
 }
 
 std::shared_ptr<SanitizationService::Region> SanitizationService::FindRegion(
     const std::string& region_id) const {
-  std::shared_lock<std::shared_mutex> lock(registry_mu_);
-  auto it = regions_.find(region_id);
-  // A nullptr value is a registration in progress — not yet servable.
-  return it == regions_.end() ? nullptr : it->second;
+  const std::shared_ptr<const RegistrySnapshot> snap =
+      snapshot_.load(std::memory_order_acquire);
+  auto it = snap->regions.find(region_id);
+  return it == snap->regions.end() ? nullptr : it->second;
 }
 
 void SanitizationService::FinishOne() {
@@ -151,20 +196,67 @@ void SanitizationService::FinishOne() {
   inflight_cv_.notify_all();
 }
 
+void SanitizationService::ServeOne(
+    Region& region, core::LocationSanitizer::BatchWalker& walker,
+    const core::LatLon& location, double deadline_ms, const Stopwatch& watch,
+    int worker_id, SanitizeResult* result) {
+  const int slot = WorkerSlot(worker_id);
+  rng::Rng& rng = worker_rngs_[static_cast<size_t>(worker_id)];
+  result->worker_id = worker_id;
+
+  bool fallback = false;
+  if (deadline_ms > 0.0 && watch.ElapsedMillis() >= deadline_ms) {
+    // The deadline burned away in the queue: skip the MSM walk entirely.
+    fallback = true;
+    metrics_.RecordDeadlineFallback(slot);
+  } else {
+    auto sanitized = walker.SanitizeLatLon(location.lat, location.lon, rng);
+    if (sanitized.ok()) {
+      result->reported = sanitized.value();
+      metrics_.RecordOk(slot);
+      // Re-check after the walk: a request that blew its deadline
+      // mid-walk must not be reported as an on-time success. The reply is
+      // still served — the privacy budget was already spent — but the
+      // overrun is visible to the caller and the dashboards.
+      if (deadline_ms > 0.0 && watch.ElapsedMillis() >= deadline_ms) {
+        result->deadline_overrun = true;
+        metrics_.RecordDeadlineOverrun(slot);
+      }
+    } else {
+      // Typically kDeadlineExceeded from a capped LP solve. Degrade —
+      // never fail the request over a utility optimization.
+      fallback = true;
+      metrics_.RecordMechanismFallback(slot);
+    }
+  }
+  if (fallback) {
+    const auto& projection = region.sanitizer.projection();
+    const geo::Point actual = region.sanitizer.domain_km().Clamp(
+        projection.Forward(location.lat, location.lon));
+    const geo::Point reported = region.fallback.Report(actual, rng);
+    projection.Inverse(reported, &result->reported.lat,
+                       &result->reported.lon);
+    result->used_fallback = true;
+  }
+
+  result->latency_ms = watch.ElapsedMillis();
+  metrics_.RecordLatency(watch.ElapsedSeconds(), slot);
+}
+
 void SanitizationService::Process(const SanitizeRequest& request,
                                   const Stopwatch& watch,
                                   const Callback& done, int worker_id) {
   SanitizeResult result;
   result.worker_id = worker_id;
-  rng::Rng& rng = worker_rngs_[static_cast<size_t>(worker_id)];
 
   const std::shared_ptr<Region> region = FindRegion(request.region_id);
   if (region == nullptr) {
+    const int slot = WorkerSlot(worker_id);
     result.status =
         Status::NotFound("unknown region '" + request.region_id + "'");
-    metrics_.RecordFailed();
+    metrics_.RecordFailed(slot);
     result.latency_ms = watch.ElapsedMillis();
-    metrics_.RecordLatency(watch.ElapsedSeconds());
+    metrics_.RecordLatency(watch.ElapsedSeconds(), slot);
     if (done) done(result);
     FinishOne();
     return;
@@ -173,44 +265,9 @@ void SanitizationService::Process(const SanitizeRequest& request,
   const double deadline_ms = request.deadline_ms > 0.0
                                  ? request.deadline_ms
                                  : options_.default_deadline_ms;
-  bool fallback = false;
-  if (deadline_ms > 0.0 && watch.ElapsedMillis() >= deadline_ms) {
-    // The deadline burned away in the queue: skip the MSM walk entirely.
-    fallback = true;
-    metrics_.RecordDeadlineFallback();
-  } else {
-    auto sanitized = region->sanitizer.SanitizeLatLonOrStatus(
-        request.location.lat, request.location.lon, rng);
-    if (sanitized.ok()) {
-      result.reported = sanitized.value();
-      metrics_.RecordOk();
-      // Re-check after the walk: a request that blew its deadline
-      // mid-walk must not be reported as an on-time success. The reply is
-      // still served — the privacy budget was already spent — but the
-      // overrun is visible to the caller and the dashboards.
-      if (deadline_ms > 0.0 && watch.ElapsedMillis() >= deadline_ms) {
-        result.deadline_overrun = true;
-        metrics_.RecordDeadlineOverrun();
-      }
-    } else {
-      // Typically kDeadlineExceeded from a capped LP solve. Degrade —
-      // never fail the request over a utility optimization.
-      fallback = true;
-      metrics_.RecordMechanismFallback();
-    }
-  }
-  if (fallback) {
-    const auto& projection = region->sanitizer.projection();
-    const geo::Point actual = region->sanitizer.domain_km().Clamp(
-        projection.Forward(request.location.lat, request.location.lon));
-    const geo::Point reported = region->fallback.Report(actual, rng);
-    projection.Inverse(reported, &result.reported.lat,
-                       &result.reported.lon);
-    result.used_fallback = true;
-  }
-
-  result.latency_ms = watch.ElapsedMillis();
-  metrics_.RecordLatency(watch.ElapsedSeconds());
+  core::LocationSanitizer::BatchWalker walker(region->sanitizer);
+  ServeOne(*region, walker, request.location, deadline_ms, watch, worker_id,
+           &result);
   if (done) done(result);
   FinishOne();
 }
@@ -264,43 +321,64 @@ std::vector<SanitizeResult> SanitizationService::SanitizeBatch(
   auto state = std::make_shared<BatchState>();
   state->pending = locations.size();
 
-  for (size_t i = 0; i < locations.size(); ++i) {
-    SanitizeRequest request;
-    request.region_id = region_id;
-    request.location = locations[i];
+  // Chunked fan-out: each pool task serves batch_chunk_size consecutive
+  // items, resolving the region once (one snapshot load) and reusing one
+  // BatchWalker — so per-node mechanism lookups are paid once per chunk.
+  // Items run in submission order within a chunk, which keeps a
+  // single-worker batch's RNG draw sequence identical to item-per-task
+  // submission. The caller blocks until pending == 0, so capturing its
+  // region_id/locations/results by reference is safe.
+  const size_t chunk_size = static_cast<size_t>(options_.batch_chunk_size);
+  for (size_t begin = 0; begin < locations.size(); begin += chunk_size) {
+    const size_t end = std::min(locations.size(), begin + chunk_size);
     {
       std::lock_guard<std::mutex> lock(inflight_mu_);
       ++inflight_;
     }
     const Stopwatch watch;
-    SanitizeResult* slot = &results[i];
     // Blocking submission: a batch caller asked for the whole batch, so
     // backpressure turns into producer blocking rather than rejection.
-    const bool submitted = pool_->Submit(
-        [this, request = std::move(request), watch, slot,
-         state](int worker_id) {
-          Process(
-              request, watch,
-              [slot, state](const SanitizeResult& r) {
-                *slot = r;
-                {
-                  std::lock_guard<std::mutex> lock(state->mu);
-                  --state->pending;
-                }
-                state->cv.notify_one();
-              },
-              worker_id);
-        });
+    const bool submitted = pool_->Submit([this, state, watch, &region_id,
+                                          &locations, &results, begin,
+                                          end](int worker_id) {
+      const std::shared_ptr<Region> region = FindRegion(region_id);
+      if (region == nullptr) {
+        const int slot = WorkerSlot(worker_id);
+        for (size_t i = begin; i < end; ++i) {
+          results[i].worker_id = worker_id;
+          results[i].status =
+              Status::NotFound("unknown region '" + region_id + "'");
+          metrics_.RecordFailed(slot);
+          results[i].latency_ms = watch.ElapsedMillis();
+          metrics_.RecordLatency(watch.ElapsedSeconds(), slot);
+        }
+      } else {
+        core::LocationSanitizer::BatchWalker walker(region->sanitizer);
+        for (size_t i = begin; i < end; ++i) {
+          ServeOne(*region, walker, locations[i],
+                   options_.default_deadline_ms, watch, worker_id,
+                   &results[i]);
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->pending -= end - begin;
+      }
+      state->cv.notify_one();
+      FinishOne();
+    });
     if (submitted) {
-      metrics_.RecordAccepted();
+      for (size_t i = begin; i < end; ++i) metrics_.RecordAccepted();
     } else {
       // Pool shut down underneath the batch.
       FinishOne();
-      metrics_.RecordRejected();
-      slot->status = Status::ResourceExhausted("service is shut down");
+      for (size_t i = begin; i < end; ++i) {
+        metrics_.RecordRejected();
+        results[i].status = Status::ResourceExhausted("service is shut down");
+      }
       {
         std::lock_guard<std::mutex> lock(state->mu);
-        --state->pending;
+        state->pending -= end - begin;
       }
       // Without this notify, a rejection that lands after the producer
       // has started waiting (e.g. on a re-entrant or future multi-
@@ -352,23 +430,25 @@ StatusOr<SanitizationService::RegionInfo> SanitizationService::GetRegionInfo(
 }
 
 std::string SanitizationService::MetricsJson() const {
-  std::string json = "{\"service\":" + metrics_.ToJson() + ",\"regions\":{";
-  std::vector<std::pair<std::string, std::shared_ptr<Region>>> regions;
-  {
-    std::shared_lock<std::shared_mutex> lock(registry_mu_);
-    regions.assign(regions_.begin(), regions_.end());
-  }
+  const std::shared_ptr<const RegistrySnapshot> snap =
+      snapshot_.load(std::memory_order_acquire);
+  char head[64];
+  std::snprintf(head, sizeof(head), ",\"snapshot_epoch\":%llu",
+                static_cast<unsigned long long>(snap->epoch));
+  std::string json =
+      "{\"service\":" + metrics_.ToJson() + head + ",\"regions\":{";
+  std::vector<std::pair<std::string, std::shared_ptr<Region>>> regions(
+      snap->regions.begin(), snap->regions.end());
   std::sort(regions.begin(), regions.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   bool first = true;
   for (const auto& [id, region] : regions) {
-    if (region == nullptr) continue;  // registration in progress
     const core::MsmStats stats = region->sanitizer.mechanism().stats();
     const auto& cache = region->sanitizer.mechanism().cache();
     // The numeric tail has a fixed shape, so snprintf is safe for it; the
     // id is arbitrary caller data and goes through JsonEscape into a
     // growable string (a 400-char id with quotes must survive intact).
-    char buf[768];
+    char buf[1024];
     std::snprintf(
         buf, sizeof(buf),
         "{\"eps\":%.6f,\"height\":%d,\"leaf_cells_per_axis\":%d,"
@@ -379,7 +459,9 @@ std::string SanitizationService::MetricsJson() const {
         "\"cache_size\":%zu,\"cache_bytes_resident\":%zu,"
         "\"cache_byte_budget\":%zu,\"cache_evictions\":%llu,"
         "\"cache_hit_rate\":%.6f,\"prewarmed_nodes\":%d,"
-        "\"singleflight_waits\":%llu}",
+        "\"singleflight_waits\":%llu,"
+        "\"plan_builds\":%lld,\"plan_levels\":%lld,"
+        "\"fallthrough_levels\":%lld}",
         region->sanitizer.epsilon(), region->sanitizer.budget().height(),
         region->leaf_cells_per_axis,
         static_cast<long long>(stats.lp_solves), stats.lp_seconds,
@@ -391,7 +473,10 @@ std::string SanitizationService::MetricsJson() const {
         cache.bytes_resident(), cache.byte_budget(),
         static_cast<unsigned long long>(cache.evictions()),
         cache.hit_rate(), region->prewarmed_nodes,
-        static_cast<unsigned long long>(cache.singleflight_waits()));
+        static_cast<unsigned long long>(cache.singleflight_waits()),
+        static_cast<long long>(stats.plan_builds),
+        static_cast<long long>(stats.plan_levels),
+        static_cast<long long>(stats.fallthrough_levels));
     if (!first) json += ",";
     first = false;
     json += "\"" + JsonEscape(id) + "\":";

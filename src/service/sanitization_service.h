@@ -6,7 +6,11 @@
 //    instead of building an unbounded backlog;
 //  * a multi-tenant region registry: one mechanism stack (projection,
 //    prior, hierarchical index, MSM with a shared singleflight node cache)
-//    per study region, keyed by region id;
+//    per study region, keyed by region id. The registry is epoch-published:
+//    lookups do ONE atomic shared_ptr load of an immutable snapshot — no
+//    mutex, ever — while register/unregister copy the map and publish a new
+//    snapshot under a writer-only mutex. A request that resolved a region
+//    keeps serving from it even if the region is unregistered mid-flight;
 //  * one deterministic RNG stream per worker (service seed ⊕ a per-worker
 //    stream constant), so a run is reproducible per worker without any
 //    cross-thread RNG locking;
@@ -26,15 +30,16 @@
 #ifndef GEOPRIV_SERVICE_SANITIZATION_SERVICE_H_
 #define GEOPRIV_SERVICE_SANITIZATION_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "base/status.h"
@@ -79,6 +84,11 @@ struct ServiceOptions {
   uint64_t seed = 0x5EED5EED5EEDull;
   // Applied to requests that do not set their own deadline. 0 = none.
   double default_deadline_ms = 0.0;
+  // SanitizeBatch items per pool task. A chunk resolves its region once
+  // (one snapshot load) and walks its items through one BatchWalker, so
+  // per-item queue/lookup overhead is amortized chunk-wide; 1 reproduces
+  // the old item-per-task behavior.
+  int batch_chunk_size = 8;
 };
 
 struct SanitizeRequest {
@@ -124,6 +134,17 @@ class SanitizationService {
   // traffic unless `config.prewarm_nodes` asks for warmup here.
   Status RegisterRegion(const std::string& region_id,
                         const RegionConfig& config);
+
+  // Publishes a snapshot without the region. In-flight requests that
+  // already resolved it keep their pinned Region and finish normally; new
+  // lookups miss. NotFound for unknown ids; FailedPrecondition while a
+  // concurrent RegisterRegion is still building the id.
+  Status UnregisterRegion(const std::string& region_id);
+
+  // Epoch of the current registry snapshot; increments on every
+  // register/unregister publication. Lets dashboards correlate counter
+  // movements with config changes.
+  uint64_t snapshot_epoch() const;
 
   // Blocking: fans the batch across the worker pool (bypassing admission
   // control — batch submission blocks instead of rejecting) and waits for
@@ -196,24 +217,52 @@ class SanitizationService {
           leaf_cells_per_axis(leaf) {}
   };
 
+  // Immutable once published. Readers hold it via one atomic shared_ptr
+  // load; a reader's copy stays valid across any number of later
+  // publications (the regions it references are themselves shared_ptrs).
+  struct RegistrySnapshot {
+    std::unordered_map<std::string, std::shared_ptr<Region>> regions;
+    uint64_t epoch = 0;
+  };
+
   explicit SanitizationService(const ServiceOptions& options);
 
+  // One atomic load, no locks — the per-request registry access.
   std::shared_ptr<Region> FindRegion(const std::string& region_id) const;
+
+  // Copy-publish `regions` as the next snapshot. Caller must hold
+  // registry_writer_mu_.
+  void PublishLocked(
+      std::unordered_map<std::string, std::shared_ptr<Region>> regions);
 
   // Runs on a worker: serves one request end-to-end and fires `done`.
   void Process(const SanitizeRequest& request, const Stopwatch& watch,
                const Callback& done, int worker_id);
 
+  // The per-item serving logic shared by Process and the chunked batch
+  // path: deadline check, MSM walk (through `walker`), fallback,
+  // per-worker metrics. `deadline_ms` 0 = none.
+  void ServeOne(Region& region, core::LocationSanitizer::BatchWalker& walker,
+                const core::LatLon& location, double deadline_ms,
+                const Stopwatch& watch, int worker_id,
+                SanitizeResult* result);
+
   void FinishOne();
+
+  // Metrics slot of worker-side events (slot 0 is the submission side).
+  static int WorkerSlot(int worker_id) { return worker_id + 1; }
 
   ServiceOptions options_;
   Metrics metrics_;
 
-  // A nullptr value is a *reservation*: RegisterRegion is building that
-  // region. Lookups treat it as absent; only the reserving call may fill
-  // or erase it.
-  mutable std::shared_mutex registry_mu_;
-  std::unordered_map<std::string, std::shared_ptr<Region>> regions_;
+  // Writers only: serializes register/unregister and guards building_.
+  // The serving path never touches it.
+  std::mutex registry_writer_mu_;
+  // Ids a RegisterRegion is currently building. Reserving here (instead
+  // of planting a placeholder in the map) keeps half-built regions out of
+  // every snapshot while still failing duplicate registrations fast.
+  std::unordered_set<std::string> building_;
+  std::atomic<std::shared_ptr<const RegistrySnapshot>> snapshot_;
 
   std::vector<rng::Rng> worker_rngs_;  // one per worker, index = worker id
 

@@ -236,6 +236,9 @@ TEST(MsmTest, CachingReusesNodeSolves) {
   auto index = MakeGrid(2, 3);
   auto prior = MakeSkewedPrior();
   MsmOptions opts;
+  // This test exercises the cache layer itself; the serving plan would
+  // route warm walks around it (covered by serving_plan_test).
+  opts.serving_plan = false;
   auto msm = MultiStepMechanism::Create(0.5, index, prior, opts);
   ASSERT_TRUE(msm.ok());
   rng::Rng rng(3);

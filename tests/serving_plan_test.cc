@@ -1,0 +1,268 @@
+// Serving-plan tests for the MSM warm path: bit-identity between the
+// pinned-plan walk and the legacy cache walk, zero cache traffic on fully
+// warm walks, generation-driven rebuilds across eviction/Clear, batch
+// reproducibility, and TSan stress for plans invalidated mid-walk. Run
+// under TSan via
+//   cmake -B build-tsan -DGEOPRIV_SANITIZE=thread
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/msm.h"
+#include "prior/prior.h"
+#include "rng/rng.h"
+#include "spatial/hierarchical_grid.h"
+
+namespace geopriv::core {
+namespace {
+
+using geo::BBox;
+using geo::Point;
+
+constexpr BBox kDomain{0.0, 0.0, 20.0, 20.0};
+
+std::shared_ptr<spatial::HierarchicalGrid> MakeGrid(int g, int h) {
+  auto grid = spatial::HierarchicalGrid::Create(kDomain, g, h);
+  GEOPRIV_CHECK_OK(grid.status());
+  return std::make_shared<spatial::HierarchicalGrid>(std::move(grid).value());
+}
+
+std::shared_ptr<prior::Prior> MakeSkewedPrior() {
+  rng::Rng rng(1234);
+  std::vector<Point> pts;
+  for (int i = 0; i < 3000; ++i) {
+    pts.push_back({std::clamp(rng.Gaussian(6.0, 1.2), 0.0, 20.0),
+                   std::clamp(rng.Gaussian(7.0, 1.2), 0.0, 20.0)});
+  }
+  for (int i = 0; i < 600; ++i) {
+    pts.push_back({rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)});
+  }
+  auto p = prior::Prior::FromPoints(kDomain, 64, pts);
+  GEOPRIV_CHECK_OK(p.status());
+  return std::make_shared<prior::Prior>(std::move(p).value());
+}
+
+std::unique_ptr<MultiStepMechanism> MakeMsm(const MsmOptions& options,
+                                            int g = 3, int h = 3) {
+  auto msm =
+      MultiStepMechanism::Create(0.5, MakeGrid(g, h), MakeSkewedPrior(),
+                                 options);
+  GEOPRIV_CHECK_OK(msm.status());
+  return std::make_unique<MultiStepMechanism>(std::move(msm).value());
+}
+
+// Walk targets: in-domain points (deterministic snap) plus out-of-domain
+// ones (exercising the UniformInt fallback on the same draw schedule).
+std::vector<Point> WalkTargets(int n) {
+  std::vector<Point> targets;
+  targets.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (i % 7 == 6) {
+      targets.push_back({-5.0 - i, 40.0 + i});  // outside the domain
+    } else {
+      targets.push_back({0.5 + 0.37 * (i % 50), 0.5 + 0.61 * (i % 31)});
+    }
+  }
+  return targets;
+}
+
+TEST(ServingPlanTest, PlanWalkIsBitIdenticalToTheCacheWalk) {
+  MsmOptions with_plan;
+  with_plan.serving_plan = true;
+  MsmOptions without_plan;
+  without_plan.serving_plan = false;
+  auto planned = MakeMsm(with_plan);
+  auto legacy = MakeMsm(without_plan);
+
+  // Warm everything so the planned walk stays inside the plan end-to-end.
+  ASSERT_TRUE(planned->PrewarmTopNodes(1000).ok());
+  ASSERT_TRUE(legacy->PrewarmTopNodes(1000).ok());
+  ASSERT_GT(planned->serving_plan_nodes(), 0u);
+  ASSERT_EQ(legacy->serving_plan_nodes(), 0u);
+
+  rng::Rng rng_planned(99);
+  rng::Rng rng_legacy(99);
+  for (const Point& target : WalkTargets(400)) {
+    auto a = planned->ReportOrStatus(target, rng_planned);
+    auto b = legacy->ReportOrStatus(target, rng_legacy);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a.value(), b.value())
+        << "plan and cache walks diverged at (" << target.x << ","
+        << target.y << ")";
+  }
+  // The planned mechanism really used its plan, not the fall-through.
+  const MsmStats stats = planned->stats();
+  EXPECT_GT(stats.plan_levels, 0);
+  EXPECT_EQ(stats.fallthrough_levels, 0);
+  EXPECT_EQ(legacy->stats().plan_levels, 0);
+}
+
+TEST(ServingPlanTest, FullyWarmWalkTakesNoCacheLookups) {
+  MsmOptions options;
+  auto msm = MakeMsm(options);
+  ASSERT_TRUE(msm->PrewarmTopNodes(1000).ok());
+  // Force the rebuild now so the measurement below sees a settled plan.
+  ASSERT_EQ(msm->serving_plan_nodes(), msm->cache_size());
+
+  const uint64_t lookups_before = msm->cache().lookups();
+  const int64_t solves_before = msm->stats().lp_solves;
+  rng::Rng rng(7);
+  for (const Point& target : WalkTargets(300)) {
+    ASSERT_TRUE(msm->ReportOrStatus(target, rng).ok());
+  }
+  // The warm path touched neither the cache (no shard locks, no LRU
+  // ticks) nor the solver: every level served from the pinned plan.
+  EXPECT_EQ(msm->cache().lookups(), lookups_before);
+  EXPECT_EQ(msm->stats().lp_solves, solves_before);
+  EXPECT_EQ(msm->stats().fallthrough_levels, 0);
+  // The walk descends the *budget* height (which may be shallower than the
+  // index height when the allocator stops splitting eps).
+  EXPECT_EQ(msm->stats().plan_levels,
+            300 * static_cast<int64_t>(msm->height()));
+}
+
+TEST(ServingPlanTest, NodeCapFallsThroughBelowTheCappedSubtree) {
+  MsmOptions options;
+  options.serving_plan_max_nodes = 1;  // plan pins the root only
+  auto msm = MakeMsm(options);
+  ASSERT_TRUE(msm->PrewarmTopNodes(1000).ok());
+  ASSERT_EQ(msm->serving_plan_nodes(), 1u);
+  rng::Rng rng(7);
+  for (const Point& target : WalkTargets(50)) {
+    ASSERT_TRUE(msm->ReportOrStatus(target, rng).ok());
+  }
+  const MsmStats stats = msm->stats();
+  EXPECT_EQ(stats.plan_levels, 50);  // root level from the plan
+  // Every remaining budget level comes from the cache walk.
+  EXPECT_EQ(stats.fallthrough_levels,
+            50 * static_cast<int64_t>(msm->height() - 1));
+}
+
+TEST(ServingPlanTest, GenerationMovesRebuildThePlan) {
+  MsmOptions options;
+  auto msm = MakeMsm(options);
+  ASSERT_TRUE(msm->PrewarmTopNodes(1000).ok());
+  const size_t full = msm->serving_plan_nodes();
+  ASSERT_GT(full, 1u);
+  const int64_t builds_after_warm = msm->stats().plan_builds;
+
+  // A stable cache means a stable plan: no rebuild however often we look.
+  rng::Rng rng(21);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(msm->ReportOrStatus({4.0, 5.0}, rng).ok());
+  }
+  EXPECT_EQ(msm->stats().plan_builds, builds_after_warm);
+
+  // Clear() bumps the generation: the next access rebuilds against the
+  // now-empty cache, and walks still serve (lazily re-solving).
+  msm->cache().Clear();
+  EXPECT_EQ(msm->serving_plan_nodes(), 0u);
+  EXPECT_GT(msm->stats().plan_builds, builds_after_warm);
+  ASSERT_TRUE(msm->ReportOrStatus({4.0, 5.0}, rng).ok());
+
+  // Re-warm: the plan comes back.
+  ASSERT_TRUE(msm->PrewarmTopNodes(1000).ok());
+  EXPECT_EQ(msm->serving_plan_nodes(), full);
+}
+
+TEST(ServingPlanTest, BoundedCachePlanPinsAtMostHalfTheBudget) {
+  MsmOptions options;
+  auto probe = MakeMsm(options);
+  ASSERT_TRUE(probe->PrewarmTopNodes(1000).ok());
+  const size_t full_bytes = probe->cache().bytes_resident();
+  ASSERT_GT(full_bytes, 0u);
+
+  options.cache_byte_budget = full_bytes;  // everything fits
+  auto msm = MakeMsm(options);
+  ASSERT_TRUE(msm->PrewarmTopNodes(1000).ok());
+  ASSERT_GT(msm->serving_plan_nodes(), 0u);
+  // The plan stops pinning at budget/2 even though more nodes are warm,
+  // so the evictor always has an unpinned pool to work with.
+  EXPECT_LT(msm->serving_plan_nodes(), probe->serving_plan_nodes());
+  rng::Rng rng(5);
+  for (const Point& target : WalkTargets(60)) {
+    ASSERT_TRUE(msm->ReportOrStatus(target, rng).ok());
+  }
+}
+
+TEST(ServingPlanTest, ReportBatchIsBitIdenticalToSequentialReports) {
+  MsmOptions options;
+  auto msm = MakeMsm(options);
+  const std::vector<Point> targets = WalkTargets(200);
+
+  // Sequential pass first (this also warms the cache — warmness must not
+  // change the draw schedule, only where the matrices are read from).
+  rng::Rng rng_seq(4242);
+  std::vector<Point> sequential;
+  for (const Point& target : targets) {
+    auto reported = msm->ReportOrStatus(target, rng_seq);
+    ASSERT_TRUE(reported.ok());
+    sequential.push_back(reported.value());
+  }
+
+  rng::Rng rng_batch(4242);
+  const auto batch = msm->ReportBatchOrStatus(targets, rng_batch);
+  ASSERT_EQ(batch.size(), sequential.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok());
+    EXPECT_EQ(batch[i].value(), sequential[i]) << "diverged at item " << i;
+  }
+}
+
+TEST(ServingPlanTest, EvictionInvalidatingPlansMidWalkStress) {
+  // Walkers hammer single and batched reports while one thread Clear()s
+  // the cache and a bounded byte budget forces steady evictions — every
+  // generation bump invalidates the plan some walker may be mid-walk on.
+  // Stale plans must keep serving (pins), rebuilds must race cleanly, and
+  // TSan must stay quiet.
+  MsmOptions options;
+  options.cache_byte_budget = 64 * 1024;
+  auto msm = MakeMsm(options, 3, 3);
+  ASSERT_TRUE(msm->PrewarmTopNodes(64).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> walked{0};
+  std::vector<std::thread> walkers;
+  for (int t = 0; t < 3; ++t) {
+    walkers.emplace_back([&, t] {
+      rng::Rng rng(1000 + t);
+      const std::vector<Point> targets = WalkTargets(30);
+      while (!stop.load(std::memory_order_acquire)) {
+        if (t == 0) {
+          for (const auto& reported : msm->ReportBatchOrStatus(targets, rng)) {
+            ASSERT_TRUE(reported.ok());
+            walked.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          for (const Point& target : targets) {
+            ASSERT_TRUE(msm->ReportOrStatus(target, rng).ok());
+            walked.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  std::thread clearer([&] {
+    for (int i = 0; i < 8; ++i) {
+      msm->cache().Clear();
+      rng::Rng rng(9000 + i);
+      // Re-warm a little so walkers oscillate between plan and
+      // fall-through instead of settling into pure cold walks.
+      for (const Point& target : WalkTargets(10)) {
+        ASSERT_TRUE(msm->ReportOrStatus(target, rng).ok());
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  clearer.join();
+  for (auto& w : walkers) w.join();
+  EXPECT_GT(walked.load(), 0u);
+  EXPECT_GT(msm->stats().plan_builds, 0);
+}
+
+}  // namespace
+}  // namespace geopriv::core
