@@ -4,11 +4,17 @@
 // deadlines falling back to planar Laplace) and the metrics JSON in action.
 //
 //   ./service_loadgen [num_requests] [num_workers] [queue_capacity]
+//                     [metrics_json_path] [metrics_text_path]
 //
 // Two phases:
 //   1. burst    — SubmitAsync as fast as possible; count accepts/rejects.
 //   2. paced    — SubmitFuture with a tight deadline; count fallbacks.
-// Finishes by printing service.MetricsJson().
+// Finishes by printing service.MetricsJson() and a flight-recorder
+// summary (tracing runs head-sampled 1-in-8, so the paced phase's
+// degraded requests are always retained). With the optional path
+// arguments, the metrics JSON and the Prometheus text exposition are
+// also written to files — the CI obs-smoke job scrapes and validates
+// both.
 
 #include <atomic>
 #include <chrono>
@@ -24,11 +30,17 @@ int main(int argc, char** argv) {
   const int num_workers = argc > 2 ? std::atoi(argv[2]) : 4;
   const size_t capacity =
       argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 64;
+  const char* metrics_json_path = argc > 4 ? argv[4] : nullptr;
+  const char* metrics_text_path = argc > 5 ? argv[5] : nullptr;
 
   service::ServiceOptions options;
   options.num_workers = num_workers;
   options.queue_capacity = capacity;
   options.seed = 20190326;
+  // Head-sample 1-in-8; degraded/overrun/tail requests are force-retained
+  // regardless, so the paced phase always lands in the flight recorder.
+  options.trace.sample_one_in = 8;
+  options.trace.tail_latency_ms = 50.0;
   auto service = service::SanitizationService::Create(options);
   if (!service.ok()) {
     std::fprintf(stderr, "service: %s\n",
@@ -92,6 +104,38 @@ int main(int argc, char** argv) {
   std::printf("paced:  %d requests with 0.001 ms deadline, %d degraded\n",
               paced, fallbacks);
 
-  std::printf("\nmetrics: %s\n", (*service)->MetricsJson().c_str());
+  const std::string metrics_json = (*service)->MetricsJson();
+  std::printf("\nmetrics: %s\n", metrics_json.c_str());
+
+  const obs::TraceStats trace = (*service)->trace_recorder()->stats();
+  std::printf(
+      "\nflight recorder: %llu requests traced, %llu retained "
+      "(%llu forced by degrade/overrun/tail), %llu spans resident\n",
+      static_cast<unsigned long long>(trace.requests_started),
+      static_cast<unsigned long long>(trace.requests_retained),
+      static_cast<unsigned long long>(trace.requests_forced),
+      static_cast<unsigned long long>(trace.spans_committed));
+  const std::string dump = (*service)->FlightRecorderJson(8);
+  std::printf("last spans: %s\n", dump.c_str());
+
+  const auto write_file = [](const char* path, const std::string& content) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return false;
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+    return true;
+  };
+  if (metrics_json_path != nullptr &&
+      !write_file(metrics_json_path, metrics_json)) {
+    return 1;
+  }
+  if (metrics_text_path != nullptr &&
+      !write_file(metrics_text_path, (*service)->MetricsText())) {
+    return 1;
+  }
   return 0;
 }

@@ -46,3 +46,16 @@ for j in BENCH_service.json BENCH_serving.json BENCH_lp.json; do
          "points are trustworthy."
   fi
 done
+
+# Observability overhead gate: sampled tracing (1-in-64) must stay within
+# 5% of tracing-off warm throughput, or the obs PR's low-overhead claim
+# does not hold on this run.
+if [ -f BENCH_obs.json ] \
+    && grep -q '"overhead_within_5pct": false' BENCH_obs.json; then
+  ratio="$(grep -o '"sampled_over_off_ratio": [0-9.]*' BENCH_obs.json \
+           | grep -o '[0-9.]*$')"
+  echo "WARNING: BENCH_obs.json reports sampled-tracing throughput at" \
+       "${ratio}x of tracing-off — outside the 5% overhead budget. Do not" \
+       "cite sampled tracing as low-overhead from this run (noisy or" \
+       "oversubscribed machine?)."
+fi

@@ -20,6 +20,16 @@ class Stopwatch {
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  // Start instant as steady-clock nanosecond ticks — the scale
+  // obs::NowTicks() uses — so a [submission, now] span needs no second
+  // clock read.
+  uint64_t StartTicks() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            start_.time_since_epoch())
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

@@ -9,6 +9,7 @@
 
 #include "base/check.h"
 #include "base/thread_pool.h"
+#include "obs/trace.h"
 
 namespace geopriv::core {
 
@@ -37,6 +38,8 @@ MsmStats MultiStepMechanism::stats() const {
         slot.lp_pricing_seconds.load(std::memory_order_relaxed);
     snapshot.lp_simplex_seconds +=
         slot.lp_simplex_seconds.load(std::memory_order_relaxed);
+    snapshot.lp_refactor_seconds +=
+        slot.lp_refactor_seconds.load(std::memory_order_relaxed);
     snapshot.lp_violations_found +=
         slot.lp_violations_found.load(std::memory_order_relaxed);
     snapshot.degraded_rows +=
@@ -82,12 +85,32 @@ MultiStepMechanism::BuildNodeMechanism(spatial::NodeIndex node,
   }
   GEOPRIV_CHECK_MSG(level >= 1 && level <= budget_.height(),
                     "level outside allocation");
+  obs::RequestTrace* const trace = obs::ActiveTrace();
+  const uint64_t build_start = trace != nullptr ? obs::NowTicks() : 0;
   GEOPRIV_ASSIGN_OR_RETURN(
       mechanisms::OptimalMechanism mech,
       mechanisms::OptimalMechanism::Create(budget_.per_level[level - 1],
                                            std::move(centers), node_prior,
                                            options_.metric, options_.opt));
   const mechanisms::OptSolveStats& os = mech.stats();
+  if (trace != nullptr) {
+    // LP phase spans, laid end-to-end inside the build window and sized by
+    // the solver's own phase clocks (pricing / refactorize / pivoting; the
+    // refactorizations run inside simplex_seconds, so pivoting gets the
+    // remainder). Payload: node index and budget level only.
+    const uint64_t build_end = obs::NowTicks();
+    uint64_t t = build_start;
+    const auto phase = [&](obs::SpanKind kind, double seconds) {
+      const uint64_t end = std::min(
+          t + obs::SecondsToTicks(std::max(seconds, 0.0)), build_end);
+      trace->Emit(kind, t, end, static_cast<int64_t>(node), level);
+      t = end;
+    };
+    phase(obs::SpanKind::kLpPricing, os.pricing_seconds);
+    phase(obs::SpanKind::kLpRefactor, os.refactor_seconds);
+    phase(obs::SpanKind::kLpSimplex,
+          os.simplex_seconds - os.refactor_seconds);
+  }
   AtomicStats::Slot& slot = stats_->Local();
   slot.lp_solves.fetch_add(1, std::memory_order_relaxed);
   slot.lp_seconds.fetch_add(os.solve_seconds, std::memory_order_relaxed);
@@ -95,6 +118,8 @@ MultiStepMechanism::BuildNodeMechanism(spatial::NodeIndex node,
                                     std::memory_order_relaxed);
   slot.lp_simplex_seconds.fetch_add(os.simplex_seconds,
                                     std::memory_order_relaxed);
+  slot.lp_refactor_seconds.fetch_add(os.refactor_seconds,
+                                     std::memory_order_relaxed);
   slot.lp_violations_found.fetch_add(os.violations_found,
                                      std::memory_order_relaxed);
   slot.degraded_rows.fetch_add(os.degraded_rows, std::memory_order_relaxed);
@@ -102,11 +127,13 @@ MultiStepMechanism::BuildNodeMechanism(spatial::NodeIndex node,
 }
 
 StatusOr<NodeMechanismCache::MechanismPtr>
-MultiStepMechanism::NodeMechanism(spatial::NodeIndex node, int level) const {
+MultiStepMechanism::NodeMechanism(spatial::NodeIndex node, int level,
+                                  bool* cache_hit) const {
   if (!options_.cache_nodes) {
     // Uncached mode: every call builds a mechanism the caller privately
     // owns. No shared mutable state, so concurrent Report() calls are
     // safe — they just each pay the LP.
+    if (cache_hit != nullptr) *cache_hit = false;
     GEOPRIV_ASSIGN_OR_RETURN(auto built, BuildNodeMechanism(node, level));
     return NodeMechanismCache::MechanismPtr(std::move(built));
   }
@@ -116,6 +143,7 @@ MultiStepMechanism::NodeMechanism(spatial::NodeIndex node, int level) const {
   if (hit) {
     stats_->Local().cache_hits.fetch_add(1, std::memory_order_relaxed);
   }
+  if (cache_hit != nullptr) *cache_hit = hit;
   return result;
 }
 
@@ -328,6 +356,12 @@ StatusOr<geo::Point> MultiStepMechanism::WalkOne(const ServingPlan* plan,
   geo::Point reported = index_->Bounds(node).Center();
   int level = 1;
 
+  // Tracing: one thread-local load up front; when no trace is active the
+  // per-level instrumentation below is a dead branch.
+  obs::RequestTrace* const trace = obs::ActiveTrace();
+  const uint64_t walk_start = trace != nullptr ? obs::NowTicks() : 0;
+  uint64_t level_start = walk_start;
+
   // Phase 1: pinned-plan walk. No locks, no cache probes, no per-level
   // refcount traffic — the caller's plan pointer pins everything. The
   // candidate scan, the uniform fallback, and ReportIndex consume `rng`
@@ -357,7 +391,14 @@ StatusOr<geo::Point> MultiStepMechanism::WalkOne(const ServingPlan* plan,
       const int z = plan->mech[p]->ReportIndex(x, rng);
       const int32_t s = begin + z;
       reported = {plan->center_x[s], plan->center_y[s]};
+      const spatial::NodeIndex expanded = node;
       node = plan->child_id[s];
+      if (trace != nullptr) {
+        const uint64_t now = obs::NowTicks();
+        trace->Emit(obs::SpanKind::kWalkLevelPlan, level_start, now,
+                    static_cast<int64_t>(expanded), level);
+        level_start = now;
+      }
       ++level;
       ++plan_levels;
       if (level > budget_.height() || plan->child_is_leaf[s] != 0) {
@@ -370,7 +411,13 @@ StatusOr<geo::Point> MultiStepMechanism::WalkOne(const ServingPlan* plan,
     }
     stats_->Local().plan_levels.fetch_add(plan_levels,
                                           std::memory_order_relaxed);
-    if (done) return reported;
+    if (done) {
+      if (trace != nullptr) {
+        trace->Emit(obs::SpanKind::kWalk, walk_start, obs::NowTicks(),
+                    static_cast<int64_t>(node), level);
+      }
+      return reported;
+    }
   }
 
   // Phase 2: singleflight-cache walk for whatever the plan didn't cover
@@ -378,15 +425,29 @@ StatusOr<geo::Point> MultiStepMechanism::WalkOne(const ServingPlan* plan,
   int64_t fallthrough_levels = 0;
   for (; level <= budget_.height(); ++level) {
     if (index_->IsLeaf(node)) break;  // adaptive indexes may bottom out
+    const spatial::NodeIndex at = node;
     const std::vector<spatial::ChildInfo> children = index_->Children(node);
     NodeMechanismCache::MechanismPtr mech;
+    bool memo_hit = false;
     if (memo != nullptr) {
       auto it = memo->find(node);
-      if (it != memo->end()) mech = it->second;
+      if (it != memo->end()) {
+        mech = it->second;
+        memo_hit = true;
+      }
     }
+    bool cache_hit = false;
     if (mech == nullptr) {
-      GEOPRIV_ASSIGN_OR_RETURN(mech, NodeMechanism(node, level));
+      GEOPRIV_ASSIGN_OR_RETURN(mech, NodeMechanism(node, level, &cache_hit));
       if (memo != nullptr) memo->emplace(node, mech);
+    }
+    if (trace != nullptr) {
+      const uint64_t now = obs::NowTicks();
+      const obs::SpanKind kind = memo_hit  ? obs::SpanKind::kWalkLevelMemo
+                                 : cache_hit ? obs::SpanKind::kWalkLevelCacheHit
+                                             : obs::SpanKind::kWalkLevelColdBuild;
+      trace->Emit(kind, level_start, now, static_cast<int64_t>(at), level);
+      level_start = now;
     }
     // Snap the actual location to its enclosing child; random if outside
     // the current node (Algorithm 1, lines 9-10).
@@ -408,6 +469,10 @@ StatusOr<geo::Point> MultiStepMechanism::WalkOne(const ServingPlan* plan,
   if (fallthrough_levels > 0) {
     stats_->Local().fallthrough_levels.fetch_add(fallthrough_levels,
                                                  std::memory_order_relaxed);
+  }
+  if (trace != nullptr) {
+    trace->Emit(obs::SpanKind::kWalk, walk_start, obs::NowTicks(),
+                static_cast<int64_t>(node), level);
   }
   return reported;
 }

@@ -92,6 +92,9 @@ struct MsmStats {
   // violated GeoInd constraints the pricing rounds surfaced.
   double lp_pricing_seconds = 0.0;
   double lp_simplex_seconds = 0.0;
+  // Basis-refactorization share of lp_simplex_seconds (the third LP phase
+  // the obs layer reports: pricing / refactorize / pivoting).
+  double lp_refactor_seconds = 0.0;
   int64_t lp_violations_found = 0;
   // All-zero LP rows rewritten to identity rows (GeoInd-breaking; nonzero
   // only when options.opt.strict is disabled — strict builds fail
@@ -158,9 +161,11 @@ class MultiStepMechanism final : public mechanisms::Mechanism {
   // Per-node mechanism for audits/tests (built and cached on demand).
   // `level` is the node's depth + 1, i.e. the budget index of its children.
   // The returned pointer pins the mechanism: it stays valid however long
-  // the caller holds it, across cache Clear()/eviction.
+  // the caller holds it, across cache Clear()/eviction. `cache_hit`
+  // (optional) reports whether the mechanism was already resident — the
+  // walk instrumentation uses it to tag levels cache-hit vs cold-build.
   StatusOr<NodeMechanismCache::MechanismPtr> NodeMechanism(
-      spatial::NodeIndex node, int level) const;
+      spatial::NodeIndex node, int level, bool* cache_hit = nullptr) const;
 
   // Pre-solves the LPs of (up to) the `k` internal nodes with the largest
   // prior mass, walking the index root-down so a warmed node's ancestors
@@ -193,6 +198,7 @@ class MultiStepMechanism final : public mechanisms::Mechanism {
       std::atomic<int64_t> cache_hits{0};
       std::atomic<double> lp_pricing_seconds{0.0};
       std::atomic<double> lp_simplex_seconds{0.0};
+      std::atomic<double> lp_refactor_seconds{0.0};
       std::atomic<int64_t> lp_violations_found{0};
       std::atomic<int64_t> degraded_rows{0};
       std::atomic<int64_t> uniform_prior_fallbacks{0};

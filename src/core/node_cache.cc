@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/check.h"
+#include "obs/trace.h"
 
 namespace geopriv::core {
 
@@ -52,10 +53,16 @@ StatusOr<NodeMechanismCache::MechanismPtr> NodeMechanismCache::GetOrCompute(
     // evicted or cleared while we wait.
     if (!entry->ready.load(std::memory_order_acquire)) {
       singleflight_waits_.fetch_add(1, std::memory_order_relaxed);
+      obs::RequestTrace* const trace = obs::ActiveTrace();
+      const uint64_t wait_start = trace != nullptr ? obs::NowTicks() : 0;
       std::unique_lock<std::mutex> lock(entry->mu);
       entry->cv.wait(lock, [&] {
         return entry->ready.load(std::memory_order_acquire);
       });
+      if (trace != nullptr) {
+        trace->Emit(obs::SpanKind::kSingleflightWait, wait_start,
+                    obs::NowTicks(), static_cast<int64_t>(node));
+      }
     }
     if (!entry->status.ok()) return entry->status;
     return entry->mech;

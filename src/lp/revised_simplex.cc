@@ -96,6 +96,8 @@ class Core {
   std::vector<double> binv_;        // m x m row-major B^{-1}
   int pivots_since_refactor_ = 0;
   int iterations_ = 0;
+  int refactorizations_ = 0;
+  double refactor_seconds_ = 0.0;
   Stopwatch stopwatch_;
 
   // Scratch buffers reused across iterations.
@@ -263,6 +265,8 @@ bool Core::TryWarmStart(const Basis& warm) {
 // partial pivoting, then recomputes the basic values. Returns false if the
 // basis matrix is numerically singular.
 bool Core::Refactorize() {
+  const Stopwatch refactor_watch;
+  ++refactorizations_;
   std::vector<double> b(static_cast<size_t>(m_) * m_, 0.0);
   for (int k = 0; k < m_; ++k) {
     for (const SparseEntry& e : cols_[basis_[k]]) {
@@ -318,6 +322,7 @@ bool Core::Refactorize() {
   ComputeBasicValues();
   pivots_since_refactor_ = 0;
   ResetDevex();
+  refactor_seconds_ += refactor_watch.ElapsedSeconds();
   return true;
 }
 
@@ -592,6 +597,8 @@ LpSolution Core::Run(const Basis* warm, Basis* out_basis) {
         result.status = SolveStatus::kTimeLimit;
         result.iterations = iterations_;
         result.solve_seconds = stopwatch_.ElapsedSeconds();
+        result.refactorizations = refactorizations_;
+        result.refactor_seconds = refactor_seconds_;
         return result;
       }
       if (pivots_since_refactor_ >= options_.refactorization_interval) {
@@ -622,6 +629,8 @@ LpSolution Core::Run(const Basis* warm, Basis* out_basis) {
       result.status = SolveStatus::kInfeasible;
       result.iterations = iterations_;
       result.solve_seconds = stopwatch_.ElapsedSeconds();
+      result.refactorizations = refactorizations_;
+      result.refactor_seconds = refactor_seconds_;
       return result;
     }
     // Freeze artificials at zero so they never re-enter.
@@ -686,6 +695,8 @@ LpSolution Core::Run(const Basis* warm, Basis* out_basis) {
 
   result.iterations = iterations_;
   result.solve_seconds = stopwatch_.ElapsedSeconds();
+  result.refactorizations = refactorizations_;
+  result.refactor_seconds = refactor_seconds_;
   result.x.assign(n, 0.0);
   for (int j = 0; j < n; ++j) result.x[j] = x_[j];
   result.objective = 0.0;

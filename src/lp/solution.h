@@ -68,6 +68,12 @@ struct LpSolution {
   std::vector<double> duals;
   int iterations = 0;
   double solve_seconds = 0.0;
+  // Basis refactorizations performed and their share of solve_seconds
+  // (revised simplex only; interior point leaves them zero). Exposed so
+  // the observability layer can split a solve into pricing / refactorize /
+  // pivoting phases.
+  int refactorizations = 0;
+  double refactor_seconds = 0.0;
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };

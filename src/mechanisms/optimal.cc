@@ -230,6 +230,8 @@ Status OptimalMechanism::SolveColumnGeneration(
     if (!sol.optimal()) return MapSolverFailure(sol.status);
     stats_.simplex_iterations += sol.iterations;
     stats_.simplex_seconds += sol.solve_seconds;
+    stats_.refactorizations += sol.refactorizations;
+    stats_.refactor_seconds += sol.refactor_seconds;
 
     // The duals of the restricted dual are the optimal primal K of the
     // restricted primal. Price all not-yet-generated GeoInd constraints.
@@ -375,6 +377,8 @@ Status OptimalMechanism::SolveFullPrimal(
   stats_.rounds = 1;
   stats_.simplex_iterations = sol.iterations;
   stats_.simplex_seconds = sol.solve_seconds;
+  stats_.refactorizations = sol.refactorizations;
+  stats_.refactor_seconds = sol.refactor_seconds;
   GEOPRIV_RETURN_IF_ERROR(FinalizeMatrix(sol.x, options.strict));
   stats_.solve_seconds = stopwatch.ElapsedSeconds();
   stats_.objective = 0.0;

@@ -89,6 +89,10 @@ struct OptSolveStats {
   // is tuned against.
   double pricing_seconds = 0.0;
   double simplex_seconds = 0.0;
+  // Basis refactorizations inside simplex_seconds and their wall-clock
+  // share (the obs layer's third LP phase alongside pricing and pivoting).
+  int refactorizations = 0;
+  double refactor_seconds = 0.0;
   // Violated GeoInd constraints seen across all pricing rounds (every one
   // of them entered the dual as a column unless columns_per_round capped
   // the round).

@@ -98,6 +98,13 @@ MetricsSnapshot Metrics::Snapshot() const {
     latency_sum_seconds += slot.latency.total_seconds();
     slot.latency.AccumulateBuckets(buckets);
   }
+  s.latency_sum_seconds = latency_sum_seconds;
+  // Per-bucket counts -> cumulative (Prometheus `le`) counts.
+  uint64_t running = 0;
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    running += buckets[static_cast<size_t>(i)];
+    s.latency_buckets[static_cast<size_t>(i)] = running;
+  }
   s.latency_p50_ms = LatencyHistogram::QuantileFromBuckets(buckets, 0.50) * 1e3;
   s.latency_p90_ms = LatencyHistogram::QuantileFromBuckets(buckets, 0.90) * 1e3;
   s.latency_p99_ms = LatencyHistogram::QuantileFromBuckets(buckets, 0.99) * 1e3;
@@ -130,7 +137,71 @@ std::string Metrics::ToJson() const {
       static_cast<unsigned long long>(s.deadline_overruns),
       static_cast<unsigned long long>(s.latency_count), s.latency_p50_ms,
       s.latency_p90_ms, s.latency_p99_ms, s.latency_mean_ms);
-  return buf;
+  std::string json = buf;
+  json.pop_back();  // drop '}' to append the histogram arrays
+  std::snprintf(buf, sizeof(buf), ",\"latency_sum_seconds\":%.6f",
+                s.latency_sum_seconds);
+  json += buf;
+  // Bucket upper bounds (seconds; the last bucket is open-ended, its bound
+  // here is nominal) and the matching cumulative counts, whose last entry
+  // equals latency_count.
+  json += ",\"latency_bucket_le_s\":[";
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%.9g", i == 0 ? "" : ",",
+                  LatencyHistogram::BucketBound(i));
+    json += buf;
+  }
+  json += "],\"latency_buckets_cumulative\":[";
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%llu", i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(
+                      s.latency_buckets[static_cast<size_t>(i)]));
+    json += buf;
+  }
+  json += "]}";
+  return json;
+}
+
+std::string Metrics::ToPrometheus(const std::string& prefix) const {
+  const MetricsSnapshot s = Snapshot();
+  std::string out;
+  out.reserve(4096);
+  char buf[192];
+  const auto counter = [&](const char* name, uint64_t value) {
+    out += "# TYPE " + prefix + name + " counter\n";
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(value));
+    out += prefix + name + buf;
+  };
+  counter("requests_total", s.requests_total);
+  counter("requests_ok_total", s.requests_ok);
+  counter("requests_rejected_total", s.requests_rejected);
+  counter("requests_failed_total", s.requests_failed);
+  counter("fallbacks_total", s.fallbacks_total);
+  counter("fallbacks_deadline_total", s.fallbacks_deadline);
+  counter("fallbacks_mechanism_total", s.fallbacks_mechanism);
+  counter("deadline_overruns_total", s.deadline_overruns);
+
+  const std::string hist = prefix + "request_latency_seconds";
+  out += "# TYPE " + hist + " histogram\n";
+  // The top bucket is the histogram's overflow bucket, so its exposition
+  // bound is +Inf (not the nominal BucketBound of the last slot).
+  for (int i = 0; i < LatencyHistogram::kNumBuckets - 1; ++i) {
+    std::snprintf(buf, sizeof(buf), "_bucket{le=\"%.9g\"} %llu\n",
+                  LatencyHistogram::BucketBound(i),
+                  static_cast<unsigned long long>(
+                      s.latency_buckets[static_cast<size_t>(i)]));
+    out += hist + buf;
+  }
+  std::snprintf(buf, sizeof(buf), "_bucket{le=\"+Inf\"} %llu\n",
+                static_cast<unsigned long long>(s.latency_count));
+  out += hist + buf;
+  std::snprintf(buf, sizeof(buf), "_sum %.9f\n", s.latency_sum_seconds);
+  out += hist + buf;
+  std::snprintf(buf, sizeof(buf), "_count %llu\n",
+                static_cast<unsigned long long>(s.latency_count));
+  out += hist + buf;
+  return out;
 }
 
 std::string JsonEscape(const std::string& s) {

@@ -83,7 +83,26 @@ struct MetricsSnapshot {
   double latency_p90_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_mean_ms = 0.0;
+  double latency_sum_seconds = 0.0;
+  // Cumulative bucket counts (Prometheus `le` semantics):
+  // latency_buckets[i] = samples <= LatencyHistogram::BucketBound(i). The
+  // last bucket is open-ended, so latency_buckets.back() == latency_count.
+  LatencyHistogram::BucketCounts latency_buckets{};
 };
+
+// The stable key schema of Metrics::ToJson(), in emission order. This is
+// the one place the schema is defined; tests/metrics_test.cc asserts the
+// emitted JSON matches it. Dashboards may rely on both presence and
+// order — extend at the end only, never rename or reorder.
+inline constexpr const char* kMetricsJsonKeys[] = {
+    "requests_total",     "requests_ok",
+    "requests_rejected",  "requests_failed",
+    "fallbacks_total",    "fallbacks_deadline",
+    "fallbacks_mechanism", "deadline_overruns",
+    "latency_count",      "latency_p50_ms",
+    "latency_p90_ms",     "latency_p99_ms",
+    "latency_mean_ms",    "latency_sum_seconds",
+    "latency_bucket_le_s", "latency_buckets_cumulative"};
 
 class Metrics {
  public:
@@ -117,8 +136,14 @@ class Metrics {
 
   MetricsSnapshot Snapshot() const;
 
-  // The snapshot as a JSON object (one line, stable key order).
+  // The snapshot as a JSON object (one line, key order = kMetricsJsonKeys).
   std::string ToJson() const;
+
+  // The snapshot in the Prometheus text exposition format: one counter
+  // family per request/fallback counter plus one cumulative histogram
+  // (`<prefix>request_latency_seconds` with `le` buckets, _sum, _count).
+  // `prefix` is prepended to every family name.
+  std::string ToPrometheus(const std::string& prefix = "geopriv_") const;
 
   int num_slots() const { return static_cast<int>(slots_.size()); }
 

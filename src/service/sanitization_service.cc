@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <utility>
 
 #include "base/check.h"
@@ -14,6 +15,74 @@ namespace {
 // Keeps the fallback grid's cell count bounded even for tall indexes
 // (4096^2 cells ~= 17M, still O(1) memory since UniformGrid is implicit).
 constexpr int kMaxFallbackCellsPerAxis = 4096;
+
+// Brackets one request's trace: Begin()s it, reconstructs the queue-wait
+// span from the submission stopwatch (the span is [submission, pickup] on
+// the steady clock — no extra timestamp has to travel through the queue),
+// and installs the trace as the worker's thread-local active trace so the
+// walk/cache/LP layers can attach spans. Finish() stamps the outcome
+// flags, emits the request-level span, and hands the buffered spans to
+// the recorder's retention decision. A null recorder makes every method a
+// no-op, so call sites need no branching.
+class RequestTracer {
+ public:
+  RequestTracer(obs::TraceRecorder* recorder, const Stopwatch& watch)
+      : recorder_(recorder) {
+    if (recorder_ == nullptr) return;
+    recorder_->Begin(&trace_);
+    // Only a head-sampled request pays for detail: the queue-wait span,
+    // the thread-local install, and every walk/LP span downstream. A
+    // request that lost the draw costs one relaxed id fetch_add and the
+    // branch here — no clock reads — unless Finish() discovers it must be
+    // force-retained, in which case a coarse record is synthesized then.
+    if ((trace_.flags() & obs::kFlagSampled) != 0) {
+      start_ticks_ = watch.StartTicks();  // submission instant, same clock
+      trace_.Emit(obs::SpanKind::kQueueWait, start_ticks_, obs::NowTicks());
+      scope_.emplace(&trace_);
+    }
+  }
+
+  void Finish(const SanitizeResult& result) {
+    if (recorder_ == nullptr) return;
+    scope_.reset();  // uninstall before committing
+    if (result.used_fallback) trace_.SetFlags(obs::kFlagDegraded);
+    if (result.deadline_overrun) {
+      trace_.SetFlags(obs::kFlagDeadlineOverrun);
+    }
+    // ServeOne already measured the latency into the result; reusing it
+    // keeps the unsampled fast path free of clock reads.
+    const double latency_seconds = result.latency_ms * 1e-3;
+    if ((trace_.flags() & obs::kFlagSampled) != 0) {
+      trace_.Emit(obs::SpanKind::kRequest, start_ticks_, obs::NowTicks(),
+                  /*node=*/-1, static_cast<int32_t>(result.status.code()));
+      recorder_->End(trace_, latency_seconds);
+    } else if (recorder_->WouldForce(trace_.flags(), latency_seconds)) {
+      // Forced retention of an unsampled request: synthesize the coarse
+      // record the flight recorder keeps for it — a fallback marker
+      // (detail -1: the reason was not captured at the degrade site) and
+      // the request envelope reconstructed from the measured latency.
+      const uint64_t now = obs::NowTicks();
+      const uint64_t start =
+          now - std::min(now, obs::SecondsToTicks(latency_seconds));
+      if (result.used_fallback) {
+        trace_.Emit(obs::SpanKind::kFallback, now, now, /*node=*/-1,
+                    /*detail=*/-1);
+      }
+      trace_.Emit(obs::SpanKind::kRequest, start, now,
+                  /*node=*/-1, static_cast<int32_t>(result.status.code()));
+      recorder_->End(trace_, latency_seconds);
+    }
+    // Neither sampled nor forced: no out-of-line call at all — End()
+    // would only early-return.
+    recorder_ = nullptr;
+  }
+
+ private:
+  obs::TraceRecorder* recorder_;
+  uint64_t start_ticks_ = 0;
+  obs::RequestTrace trace_;
+  std::optional<obs::ScopedTrace> scope_;
+};
 
 }  // namespace
 
@@ -50,6 +119,9 @@ SanitizationService::SanitizationService(const ServiceOptions& options)
       metrics_(options.num_workers + 1) {
   snapshot_.store(std::make_shared<const RegistrySnapshot>(),
                   std::memory_order_release);
+  if (options.trace.sample_one_in > 0) {
+    recorder_ = std::make_unique<obs::TraceRecorder>(options.trace);
+  }
   worker_rngs_.reserve(static_cast<size_t>(options.num_workers));
   for (int w = 0; w < options.num_workers; ++w) {
     worker_rngs_.emplace_back(WorkerSeed(options.seed, w));
@@ -205,6 +277,9 @@ void SanitizationService::ServeOne(
   result->worker_id = worker_id;
 
   bool fallback = false;
+  // Fallback-reason detail on the kFallback span: 0 = the deadline was
+  // already gone at pickup, 1 = the MSM path failed mid-walk.
+  int32_t fallback_reason = 0;
   if (deadline_ms > 0.0 && watch.ElapsedMillis() >= deadline_ms) {
     // The deadline burned away in the queue: skip the MSM walk entirely.
     fallback = true;
@@ -226,10 +301,13 @@ void SanitizationService::ServeOne(
       // Typically kDeadlineExceeded from a capped LP solve. Degrade —
       // never fail the request over a utility optimization.
       fallback = true;
+      fallback_reason = 1;
       metrics_.RecordMechanismFallback(slot);
     }
   }
   if (fallback) {
+    obs::RequestTrace* const trace = obs::ActiveTrace();
+    const uint64_t fb_start = trace != nullptr ? obs::NowTicks() : 0;
     const auto& projection = region.sanitizer.projection();
     const geo::Point actual = region.sanitizer.domain_km().Clamp(
         projection.Forward(location.lat, location.lon));
@@ -237,6 +315,10 @@ void SanitizationService::ServeOne(
     projection.Inverse(reported, &result->reported.lat,
                        &result->reported.lon);
     result->used_fallback = true;
+    if (trace != nullptr) {
+      trace->Emit(obs::SpanKind::kFallback, fb_start, obs::NowTicks(),
+                  /*node=*/-1, fallback_reason);
+    }
   }
 
   result->latency_ms = watch.ElapsedMillis();
@@ -248,6 +330,7 @@ void SanitizationService::Process(const SanitizeRequest& request,
                                   const Callback& done, int worker_id) {
   SanitizeResult result;
   result.worker_id = worker_id;
+  RequestTracer tracer(recorder_.get(), watch);
 
   const std::shared_ptr<Region> region = FindRegion(request.region_id);
   if (region == nullptr) {
@@ -257,6 +340,7 @@ void SanitizationService::Process(const SanitizeRequest& request,
     metrics_.RecordFailed(slot);
     result.latency_ms = watch.ElapsedMillis();
     metrics_.RecordLatency(watch.ElapsedSeconds(), slot);
+    tracer.Finish(result);
     if (done) done(result);
     FinishOne();
     return;
@@ -268,6 +352,7 @@ void SanitizationService::Process(const SanitizeRequest& request,
   core::LocationSanitizer::BatchWalker walker(region->sanitizer);
   ServeOne(*region, walker, request.location, deadline_ms, watch, worker_id,
            &result);
+  tracer.Finish(result);
   if (done) done(result);
   FinishOne();
 }
@@ -345,19 +430,26 @@ std::vector<SanitizeResult> SanitizationService::SanitizeBatch(
       if (region == nullptr) {
         const int slot = WorkerSlot(worker_id);
         for (size_t i = begin; i < end; ++i) {
+          RequestTracer tracer(recorder_.get(), watch);
           results[i].worker_id = worker_id;
           results[i].status =
               Status::NotFound("unknown region '" + region_id + "'");
           metrics_.RecordFailed(slot);
           results[i].latency_ms = watch.ElapsedMillis();
           metrics_.RecordLatency(watch.ElapsedSeconds(), slot);
+          tracer.Finish(results[i]);
         }
       } else {
         core::LocationSanitizer::BatchWalker walker(region->sanitizer);
         for (size_t i = begin; i < end; ++i) {
+          // One tracer per item: every item of the chunk gets its own
+          // request id and retention decision (the queue-wait span of a
+          // late item includes its wait behind earlier chunk items).
+          RequestTracer tracer(recorder_.get(), watch);
           ServeOne(*region, walker, locations[i],
                    options_.default_deadline_ms, watch, worker_id,
                    &results[i]);
+          tracer.Finish(results[i]);
         }
       }
       {
@@ -432,11 +524,29 @@ StatusOr<SanitizationService::RegionInfo> SanitizationService::GetRegionInfo(
 std::string SanitizationService::MetricsJson() const {
   const std::shared_ptr<const RegistrySnapshot> snap =
       snapshot_.load(std::memory_order_acquire);
-  char head[64];
+  char head[512];
   std::snprintf(head, sizeof(head), ",\"snapshot_epoch\":%llu",
                 static_cast<unsigned long long>(snap->epoch));
-  std::string json =
-      "{\"service\":" + metrics_.ToJson() + head + ",\"regions\":{";
+  std::string json = "{\"service\":" + metrics_.ToJson() + head;
+  // The trace object is always present (stable schema); with tracing off
+  // it is all zeros with enabled == 0.
+  const obs::TraceStats ts =
+      recorder_ != nullptr ? recorder_->stats() : obs::TraceStats{};
+  std::snprintf(
+      head, sizeof(head),
+      ",\"trace\":{\"enabled\":%d,\"sample_one_in\":%u,"
+      "\"requests_started\":%llu,\"requests_retained\":%llu,"
+      "\"requests_forced\":%llu,\"spans_committed\":%llu,"
+      "\"spans_dropped\":%llu}",
+      recorder_ != nullptr ? 1 : 0,
+      recorder_ != nullptr ? recorder_->options().sample_one_in : 0u,
+      static_cast<unsigned long long>(ts.requests_started),
+      static_cast<unsigned long long>(ts.requests_retained),
+      static_cast<unsigned long long>(ts.requests_forced),
+      static_cast<unsigned long long>(ts.spans_committed),
+      static_cast<unsigned long long>(ts.spans_dropped));
+  json += head;
+  json += ",\"regions\":{";
   std::vector<std::pair<std::string, std::shared_ptr<Region>>> regions(
       snap->regions.begin(), snap->regions.end());
   std::sort(regions.begin(), regions.end(),
@@ -454,6 +564,7 @@ std::string SanitizationService::MetricsJson() const {
         "{\"eps\":%.6f,\"height\":%d,\"leaf_cells_per_axis\":%d,"
         "\"lp_solves\":%lld,\"lp_seconds\":%.6f,"
         "\"lp_pricing_seconds\":%.6f,\"lp_simplex_seconds\":%.6f,"
+        "\"lp_refactor_seconds\":%.6f,"
         "\"lp_violations\":%lld,\"degraded_rows\":%lld,"
         "\"uniform_prior_fallbacks\":%lld,\"cache_hits\":%lld,"
         "\"cache_size\":%zu,\"cache_bytes_resident\":%zu,"
@@ -466,6 +577,7 @@ std::string SanitizationService::MetricsJson() const {
         region->leaf_cells_per_axis,
         static_cast<long long>(stats.lp_solves), stats.lp_seconds,
         stats.lp_pricing_seconds, stats.lp_simplex_seconds,
+        stats.lp_refactor_seconds,
         static_cast<long long>(stats.lp_violations_found),
         static_cast<long long>(stats.degraded_rows),
         static_cast<long long>(stats.uniform_prior_fallbacks),
@@ -484,6 +596,130 @@ std::string SanitizationService::MetricsJson() const {
   }
   json += "}}";
   return json;
+}
+
+namespace {
+
+// Escapes a Prometheus label value: backslash, double quote, and newline
+// get backslash-escaped (the only three characters the text format
+// requires escaping).
+std::string PromLabelEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SanitizationService::MetricsText() const {
+  std::string out = metrics_.ToPrometheus("geopriv_");
+  char buf[256];
+
+  const std::shared_ptr<const RegistrySnapshot> snap =
+      snapshot_.load(std::memory_order_acquire);
+  std::snprintf(buf, sizeof(buf),
+                "# TYPE geopriv_snapshot_epoch gauge\n"
+                "geopriv_snapshot_epoch %llu\n",
+                static_cast<unsigned long long>(snap->epoch));
+  out += buf;
+
+  if (recorder_ != nullptr) {
+    const obs::TraceStats ts = recorder_->stats();
+    const auto trace_counter = [&](const char* name, uint64_t value) {
+      std::snprintf(buf, sizeof(buf),
+                    "# TYPE geopriv_trace_%s counter\n"
+                    "geopriv_trace_%s %llu\n",
+                    name, name, static_cast<unsigned long long>(value));
+      out += buf;
+    };
+    trace_counter("requests_started_total", ts.requests_started);
+    trace_counter("requests_retained_total", ts.requests_retained);
+    trace_counter("requests_forced_total", ts.requests_forced);
+    trace_counter("spans_committed_total", ts.spans_committed);
+    trace_counter("spans_dropped_total", ts.spans_dropped);
+  }
+
+  // Per-region gauges. One `# TYPE` header per family, then one sample
+  // per region, labelled with the (escaped) region id.
+  std::vector<std::pair<std::string, std::shared_ptr<Region>>> regions(
+      snap->regions.begin(), snap->regions.end());
+  std::sort(regions.begin(), regions.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  struct Family {
+    const char* name;
+    const char* type;
+  };
+  static constexpr Family kFamilies[] = {
+      {"region_lp_solves", "counter"},
+      {"region_lp_seconds", "counter"},
+      {"region_lp_refactor_seconds", "counter"},
+      {"region_cache_hits", "counter"},
+      {"region_cache_size", "gauge"},
+      {"region_cache_bytes_resident", "gauge"},
+      {"region_cache_evictions", "counter"},
+      {"region_singleflight_waits", "counter"},
+      {"region_plan_builds", "counter"},
+  };
+  for (const Family& family : kFamilies) {
+    if (regions.empty()) break;
+    std::snprintf(buf, sizeof(buf), "# TYPE geopriv_%s %s\n", family.name,
+                  family.type);
+    out += buf;
+    for (const auto& [id, region] : regions) {
+      const core::MsmStats stats = region->sanitizer.mechanism().stats();
+      const auto& cache = region->sanitizer.mechanism().cache();
+      double value = 0.0;
+      const std::string name = family.name;
+      if (name == "region_lp_solves") {
+        value = static_cast<double>(stats.lp_solves);
+      } else if (name == "region_lp_seconds") {
+        value = stats.lp_seconds;
+      } else if (name == "region_lp_refactor_seconds") {
+        value = stats.lp_refactor_seconds;
+      } else if (name == "region_cache_hits") {
+        value = static_cast<double>(stats.cache_hits);
+      } else if (name == "region_cache_size") {
+        value = static_cast<double>(cache.size());
+      } else if (name == "region_cache_bytes_resident") {
+        value = static_cast<double>(cache.bytes_resident());
+      } else if (name == "region_cache_evictions") {
+        value = static_cast<double>(cache.evictions());
+      } else if (name == "region_singleflight_waits") {
+        value = static_cast<double>(cache.singleflight_waits());
+      } else if (name == "region_plan_builds") {
+        value = static_cast<double>(stats.plan_builds);
+      }
+      // The id is arbitrary caller data: concatenate (no fixed buffer) so
+      // a long region id cannot truncate the sample line.
+      std::snprintf(buf, sizeof(buf), "\"} %.9g\n", value);
+      out += "geopriv_" + name + "{region=\"" + PromLabelEscape(id) + buf;
+    }
+  }
+  return out;
+}
+
+std::string SanitizationService::FlightRecorderJson(size_t last_k) const {
+  return recorder_ != nullptr ? recorder_->FlightRecorderJson(last_k) : "[]";
+}
+
+std::string SanitizationService::ChromeTraceJson(size_t max_events) const {
+  return recorder_ != nullptr ? recorder_->ChromeTraceJson(max_events)
+                              : "{\"traceEvents\":[]}";
 }
 
 }  // namespace geopriv::service

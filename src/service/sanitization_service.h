@@ -47,6 +47,7 @@
 #include "base/thread_pool.h"
 #include "core/location_sanitizer.h"
 #include "mechanisms/planar_laplace.h"
+#include "obs/trace.h"
 #include "service/metrics.h"
 
 namespace geopriv::service {
@@ -89,6 +90,10 @@ struct ServiceOptions {
   // per-item queue/lookup overhead is amortized chunk-wide; 1 reproduces
   // the old item-per-task behavior.
   int batch_chunk_size = 8;
+  // Request tracing / flight recording. trace.sample_one_in == 0 (the
+  // default) disables tracing entirely: no recorder is built and every
+  // instrumentation site costs one thread-local load and a branch.
+  obs::TraceOptions trace;
 };
 
 struct SanitizeRequest {
@@ -112,6 +117,29 @@ struct SanitizeResult {
   double latency_ms = 0.0;  // submission -> completion
   int worker_id = -1;
 };
+
+// The stable key schema of SanitizationService::MetricsJson(), defined
+// here in one place and asserted by tests/metrics_test.cc. Like
+// kMetricsJsonKeys (the schema of the nested "service" object), these may
+// be extended at the end only, never renamed or reordered.
+inline constexpr const char* kServiceMetricsJsonKeys[] = {
+    "service", "snapshot_epoch", "trace", "regions"};
+inline constexpr const char* kTraceMetricsJsonKeys[] = {
+    "enabled",           "sample_one_in",  "requests_started",
+    "requests_retained", "requests_forced", "spans_committed",
+    "spans_dropped"};
+inline constexpr const char* kRegionMetricsJsonKeys[] = {
+    "eps",           "height",
+    "leaf_cells_per_axis", "lp_solves",
+    "lp_seconds",    "lp_pricing_seconds",
+    "lp_simplex_seconds",  "lp_refactor_seconds",
+    "lp_violations", "degraded_rows",
+    "uniform_prior_fallbacks", "cache_hits",
+    "cache_size",    "cache_bytes_resident",
+    "cache_byte_budget",   "cache_evictions",
+    "cache_hit_rate",      "prewarmed_nodes",
+    "singleflight_waits",  "plan_builds",
+    "plan_levels",   "fallthrough_levels"};
 
 class SanitizationService {
  public:
@@ -194,7 +222,24 @@ class SanitizationService {
   const Metrics& metrics() const { return metrics_; }
 
   // Service counters plus per-region cache stats, as one JSON object.
+  // Top-level key order = kServiceMetricsJsonKeys; each region object's
+  // key order = kRegionMetricsJsonKeys.
   std::string MetricsJson() const;
+
+  // The service counters in the Prometheus text exposition format:
+  // everything Metrics::ToPrometheus() emits, plus per-region gauges
+  // (labelled {region="<id>"}), trace-recorder counters, and the registry
+  // snapshot epoch. Family names carry the "geopriv_" prefix.
+  std::string MetricsText() const;
+
+  // Post-mortem trace dumps ("[]" / empty traceEvents when tracing is
+  // off). See obs::TraceRecorder for the formats.
+  std::string FlightRecorderJson(size_t last_k = 256) const;
+  std::string ChromeTraceJson(size_t max_events = 0) const;
+
+  // The recorder itself, nullptr when options.trace.sample_one_in == 0.
+  obs::TraceRecorder* trace_recorder() { return recorder_.get(); }
+  const obs::TraceRecorder* trace_recorder() const { return recorder_.get(); }
 
   // The deterministic seed of worker `worker_id`'s RNG stream.
   static uint64_t WorkerSeed(uint64_t seed, int worker_id);
@@ -254,6 +299,9 @@ class SanitizationService {
 
   ServiceOptions options_;
   Metrics metrics_;
+  // Built iff options_.trace.sample_one_in > 0; never reassigned after
+  // construction, so workers read it without synchronization.
+  std::unique_ptr<obs::TraceRecorder> recorder_;
 
   // Writers only: serializes register/unregister and guards building_.
   // The serving path never touches it.
