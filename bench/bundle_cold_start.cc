@@ -1,0 +1,243 @@
+// Bundle cold-start benchmark: the build/serve split's headline numbers.
+//
+// Measures the time from "process has nothing" to "region is serving"
+// two ways — scratch (run the Builder pipeline and pre-solve every node
+// LP, what a restart cost before bundles) and bundle (mmap a prebuilt v2
+// bundle and publish its solved mechanisms zero-copy) — plus resident
+// memory, LP-solve counts, and a serving-path spot check that both
+// regions produce bit-identical reports under the same seed.
+//
+// Flags:
+//   --eps E          privacy budget (default 4.0 — enough per-level
+//                    budget for a multi-level tree with real LP load)
+//   --g G            index fanout (default 4)
+//   --prior P        prior granularity (default 64)
+//   --repeats N      load repetitions for the bundle timing (default 5)
+//   --json PATH      output JSON path (default BENCH_bundle.json)
+//
+// Results go to stdout and to --json.
+
+#include <sys/resource.h>
+
+#include <climits>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "base/check.h"
+#include "base/stopwatch.h"
+#include "bundle/builder.h"
+#include "bundle/loader.h"
+#include "bundle/region_bundle.h"
+#include "core/location_sanitizer.h"
+#include "rng/rng.h"
+
+namespace geopriv {
+namespace {
+
+using bench::Flags;
+
+// Peak resident set in bytes (ru_maxrss is KiB on Linux).
+uint64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+// Current VmRSS in bytes from /proc/self/status (0 if unavailable).
+uint64_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %llu kB",
+                    reinterpret_cast<unsigned long long*>(&kib)) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
+bundle::RegionSpec MakeSpec(double eps, int g, int prior_granularity) {
+  bundle::RegionSpec spec;
+  // Austin-like box, ~4.5 x 4 km.
+  spec.min_lat = 30.19;
+  spec.min_lon = -97.87;
+  spec.max_lat = 30.23;
+  spec.max_lon = -97.83;
+  spec.eps = eps;
+  spec.granularity = g;
+  spec.prior_granularity = prior_granularity;
+  rng::Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    spec.checkins.push_back({rng.Gaussian(30.21, 0.008),
+                             rng.Gaussian(-97.85, 0.008)});
+  }
+  return spec;
+}
+
+core::LocationSanitizer BuildScratch(const bundle::RegionSpec& spec,
+                                     uint64_t seed) {
+  auto built = core::LocationSanitizer::Builder()
+                   .SetRegionLatLon(spec.min_lat, spec.min_lon, spec.max_lat,
+                                    spec.max_lon)
+                   .SetEpsilon(spec.eps)
+                   .SetGranularity(spec.granularity)
+                   .SetRho(spec.rho)
+                   .SetPriorGranularity(spec.prior_granularity)
+                   .SetUtilityMetric(spec.metric)
+                   .SetSeed(seed)
+                   .AddCheckinsLatLon(spec.checkins)
+                   .Build();
+  GEOPRIV_CHECK_OK(built.status());
+  return std::move(built).value();
+}
+
+}  // namespace
+}  // namespace geopriv
+
+int main(int argc, char** argv) {
+  using namespace geopriv;  // NOLINT: bench brevity
+  const Flags flags(argc, argv);
+  const double eps = flags.GetDouble("eps", 4.0);
+  const int g = flags.GetInt("g", 4);
+  const int prior_granularity = flags.GetInt("prior", 64);
+  const int repeats = flags.GetInt("repeats", 5);
+  const std::string json_path =
+      flags.GetString("json", "BENCH_bundle.json");
+  constexpr uint64_t kSeed = 0xC01D57A27ull;
+
+  const bundle::RegionSpec spec = MakeSpec(eps, g, prior_granularity);
+  const std::string path = "/tmp/geopriv_bench_region.gpb2";
+
+  // --- Build tier (once; its cost is amortized over every cold start).
+  Stopwatch build_watch;
+  auto built = bundle::BuildRegionBundle(spec, {}, path);
+  GEOPRIV_CHECK_OK(built.status());
+  const double build_seconds = build_watch.ElapsedSeconds();
+
+  // --- Scratch cold start: Builder pipeline + full prewarm.
+  const uint64_t rss_before_scratch = CurrentRssBytes();
+  Stopwatch scratch_watch;
+  core::LocationSanitizer scratch = BuildScratch(spec, kSeed);
+  auto warmed = scratch.PrewarmTopNodes(INT_MAX);
+  GEOPRIV_CHECK_OK(warmed.status());
+  const double scratch_seconds = scratch_watch.ElapsedSeconds();
+  const core::MsmStats scratch_stats = scratch.mechanism().stats();
+  const int64_t scratch_solves = scratch_stats.lp_solves;
+  const uint64_t scratch_resident =
+      static_cast<uint64_t>(scratch_stats.cache_bytes_resident);
+  const uint64_t rss_after_scratch = CurrentRssBytes();
+
+  // --- Bundle cold start: mmap + zero-copy publish. Repeat to average
+  // out fs cache effects; every repetition is a full open-to-serving
+  // cycle in this process (a fresh mapping each time).
+  double bundle_seconds_total = 0.0;
+  uint64_t bytes_mapped = 0;
+  uint64_t bundle_nodes = 0, plan_nodes = 0;
+  int64_t bundle_solves = 0;
+  uint64_t bundle_cache_resident = 0;
+  uint64_t rss_after_bundle = 0;
+  bool bit_identical = true;
+  for (int rep = 0; rep < repeats; ++rep) {
+    Stopwatch load_watch;
+    auto view = bundle::RegionBundleView::Open(path);
+    GEOPRIV_CHECK_OK(view.status());
+    bundle::RegionLoadOptions load_options;
+    load_options.seed = kSeed;
+    auto loaded = bundle::LoadRegion(view.value(), load_options);
+    GEOPRIV_CHECK_OK(loaded.status());
+    bundle_seconds_total += load_watch.ElapsedSeconds();
+    bytes_mapped = loaded->bytes_mapped;
+    bundle_nodes = loaded->nodes_loaded;
+    plan_nodes = loaded->plan_nodes;
+    const core::MsmStats loaded_stats =
+        loaded->sanitizer.mechanism().stats();
+    bundle_solves = loaded_stats.lp_solves;
+    bundle_cache_resident =
+        static_cast<uint64_t>(loaded_stats.cache_bytes_resident);
+    rss_after_bundle = CurrentRssBytes();
+    if (rep == 0) {
+      // Spot-check the serve-path contract: same seed, same reports.
+      rng::Rng r1(7), r2(7);
+      for (int i = 0; i < 100 && bit_identical; ++i) {
+        const double lat = 30.19 + 0.04 * ((i * 37) % 100) / 100.0;
+        const double lon = -97.87 + 0.04 * ((i * 53) % 100) / 100.0;
+        auto a = loaded->sanitizer.SanitizeLatLonOrStatus(lat, lon, r1);
+        auto b = scratch.SanitizeLatLonOrStatus(lat, lon, r2);
+        GEOPRIV_CHECK_OK(a.status());
+        GEOPRIV_CHECK_OK(b.status());
+        bit_identical = a->lat == b->lat && a->lon == b->lon;
+      }
+    }
+  }
+  const double bundle_seconds = bundle_seconds_total / repeats;
+
+  const double speedup =
+      bundle_seconds > 0.0 ? scratch_seconds / bundle_seconds : 0.0;
+  std::printf("bundle cold start (eps=%.2f, g=%d, prior %dx%d)\n", eps, g,
+              prior_granularity, prior_granularity);
+  std::printf("  build tier: %.3fs, %llu nodes, %lld LP solves, %.1f KiB\n",
+              build_seconds, static_cast<unsigned long long>(built->nodes),
+              static_cast<long long>(built->lp_solves),
+              built->bytes / 1024.0);
+  std::printf("  scratch:    %.4fs, %lld LP solves, %.1f KiB cache\n",
+              scratch_seconds, static_cast<long long>(scratch_solves),
+              scratch_resident / 1024.0);
+  std::printf("  bundle:     %.4fs (avg of %d), %lld LP solves, "
+              "%.1f KiB mapped, %.1f KiB cache-owned\n",
+              bundle_seconds, repeats,
+              static_cast<long long>(bundle_solves), bytes_mapped / 1024.0,
+              bundle_cache_resident / 1024.0);
+  std::printf("  cold-start speedup: %.1fx, bit-identical reports: %s\n",
+              speedup, bit_identical ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"bundle_cold_start\",\n"
+               "  \"eps\": %.4f,\n"
+               "  \"granularity\": %d,\n"
+               "  \"prior_granularity\": %d,\n"
+               "  \"build\": {\"seconds\": %.4f, \"nodes\": %llu, "
+               "\"lp_solves\": %lld, \"file_bytes\": %llu},\n"
+               "  \"scratch\": {\"cold_start_seconds\": %.6f, "
+               "\"lp_solves\": %lld, \"cache_bytes_resident\": %llu, "
+               "\"rss_delta_bytes\": %lld},\n"
+               "  \"bundle\": {\"cold_start_seconds\": %.6f, "
+               "\"repeats\": %d, \"lp_solves\": %lld, "
+               "\"bytes_mapped\": %llu, \"nodes_loaded\": %llu, "
+               "\"plan_nodes_warm\": %llu, "
+               "\"cache_bytes_resident\": %llu, \"rss_bytes\": %llu},\n"
+               "  \"cold_start_speedup\": %.2f,\n"
+               "  \"bit_identical_reports\": %s,\n"
+               "  \"peak_rss_bytes\": %llu\n"
+               "}\n",
+               eps, g, prior_granularity, build_seconds,
+               static_cast<unsigned long long>(built->nodes),
+               static_cast<long long>(built->lp_solves),
+               static_cast<unsigned long long>(built->bytes),
+               scratch_seconds, static_cast<long long>(scratch_solves),
+               static_cast<unsigned long long>(scratch_resident),
+               static_cast<long long>(rss_after_scratch) -
+                   static_cast<long long>(rss_before_scratch),
+               bundle_seconds, repeats,
+               static_cast<long long>(bundle_solves),
+               static_cast<unsigned long long>(bytes_mapped),
+               static_cast<unsigned long long>(bundle_nodes),
+               static_cast<unsigned long long>(plan_nodes),
+               static_cast<unsigned long long>(bundle_cache_resident),
+               static_cast<unsigned long long>(rss_after_bundle),
+               speedup, bit_identical ? "true" : "false",
+               static_cast<unsigned long long>(PeakRssBytes()));
+  std::fclose(f);
+  std::printf("\nJSON written to %s\n", json_path.c_str());
+  return bit_identical ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+#include "base/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace geopriv::base {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+// Directory part of `path` ("." when the path has no slash) — where the
+// temp file must live for the rename to stay within one filesystem.
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write to", path));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  if (path.empty()) {
+    return Status::InvalidArgument("empty path");
+  }
+  // Unique temp name per process and call, so concurrent writers to the
+  // same target never share a temp file (last rename wins, atomically).
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid())) +
+      "." + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot create temp file", tmp));
+  }
+  Status status = WriteAll(fd, bytes.data(), bytes.size(), tmp);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::IoError(ErrnoMessage("fsync of", tmp));
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = Status::IoError(ErrnoMessage("close of", tmp));
+  }
+  if (status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Status::IoError(ErrnoMessage("rename to", path));
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // Persist the directory entry; best-effort (some filesystems refuse
+  // directory fsync) — the data itself is already durable.
+  const int dir_fd = ::open(DirOf(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IoError("read of " + path + " failed");
+  }
+  return contents;
+}
+
+}  // namespace geopriv::base

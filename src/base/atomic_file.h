@@ -1,0 +1,30 @@
+// Crash-atomic file replacement: write to a temp file in the target's
+// directory, fsync, then rename over the target. A crash at any point
+// leaves either the old file or the new file at the final path — never a
+// truncated or interleaved mix. Used by every bundle writer: a serving
+// process must be able to trust that a bundle at its configured path is
+// complete whenever it exists.
+
+#ifndef GEOPRIV_BASE_ATOMIC_FILE_H_
+#define GEOPRIV_BASE_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace geopriv::base {
+
+// Atomically replaces (or creates) `path` with `bytes`. The temp file is
+// created next to `path` (same filesystem, so the rename is atomic) and
+// unlinked on any failure; the directory entry is fsynced after the rename
+// so the replacement survives a power cut.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+// Reads the whole file into a string (binary). IoError when the file
+// cannot be opened or read.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace geopriv::base
+
+#endif  // GEOPRIV_BASE_ATOMIC_FILE_H_

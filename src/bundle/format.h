@@ -1,0 +1,131 @@
+// On-disk layout of the v2 region bundle ("GPB2") — the build/serve
+// split's hand-off artifact. A build-tier process solves a region's
+// per-node LPs once, serializes the solved mechanisms (dense K, alias
+// tables), the annotated prior, the budget split, and the serving-plan
+// layout into one sectioned file; a serving process mmaps it read-only
+// and registers the region with zero LP solves and zero table copies
+// (the mechanism matrices are spans into the mapping).
+//
+//   header (64 bytes)
+//     magic "GPB2" | endian sentinel u32 (0x01020304) | version u32 (2) |
+//     section_count u32 | file_size u64 | toc_offset u64 (= 64) |
+//     header checksum u64 (FNV-1a over the preceding 32 bytes) | zero pad
+//   TOC at toc_offset: section_count entries, 32 bytes each
+//     id u32 | reserved u32 (0) | offset u64 | size u64 |
+//     checksum u64 (FNV-1a over the section's bytes)
+//   sections, each 64-byte aligned (zero-padded between)
+//
+// Sections (ids below; unknown ids are ignored by readers, so the format
+// is forward-extensible):
+//   kConfig   region geometry + parameters (fixed 112 bytes, see
+//             ConfigImage)
+//   kBudgets  u32 height | u32 pad | f64 per-level budgets[height]
+//   kPrior    u32 granularity g | u32 pad | f64 masses[g*g]
+//   kNodes    u64 count | count NodeDirEntry (32 bytes each) | per-node
+//             blobs, each 64-byte aligned at its directory offset
+//             (relative to the section start):
+//               f64 level-eps | f64 objective | u64 n | u64 reserved |
+//               f64 locations[2n] (x,y interleaved) | f64 prior[n] |
+//               f64 k[n*n] | f64 alias_prob[n*n] | u64 alias_alias[n*n] |
+//               f64 alias_normalized[n*n]
+//   kPlan     u64 plan_node_count P | u64 child_slot_count S |
+//             i64 node_id[P] | i64 child_id[S] |
+//             f64 min_x/min_y/max_x/max_y/center_x/center_y (S each) |
+//             i32 child_begin[P] | i32 child_count[P] |
+//             i32 child_plan[S] | u8 child_is_leaf[S]
+//
+// Every multi-byte field is little-endian. The zero-copy read path
+// reinterprets mapped bytes as host arrays, so it additionally requires a
+// little-endian LP64 host (checked at Open; other hosts get a clear
+// kUnimplemented, never a misparse). All array starts are 8-byte aligned
+// by construction (64-aligned sections, 8-multiple prefixes before every
+// wide array).
+
+#ifndef GEOPRIV_BUNDLE_FORMAT_H_
+#define GEOPRIV_BUNDLE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace geopriv::bundle {
+
+inline constexpr char kMagicV2[4] = {'G', 'P', 'B', '2'};
+inline constexpr char kMagicV1[4] = {'G', 'P', 'B', '1'};
+inline constexpr uint32_t kVersion = 2;
+inline constexpr size_t kHeaderBytes = 64;
+inline constexpr size_t kTocEntryBytes = 32;
+inline constexpr size_t kSectionAlign = 64;
+
+// Section ids. Values are part of the format; never renumber.
+enum SectionId : uint32_t {
+  kConfig = 1,
+  kBudgets = 2,
+  kPrior = 3,
+  kNodes = 4,
+  kPlan = 5,
+};
+
+// Decoded TOC entry.
+struct SectionEntry {
+  uint32_t id = 0;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint64_t checksum = 0;
+};
+
+// Decoded kConfig section. Field order in the file: the ten f64s, then
+// the four u32s, then the two u64s (112 bytes total).
+struct ConfigImage {
+  double min_lat = 0.0, min_lon = 0.0, max_lat = 0.0, max_lon = 0.0;
+  double eps = 0.0;
+  double rho = 0.0;
+  // Planar km frame derived from the lat/lon box; stored so a loader can
+  // cross-check its projection reproduces the build tier's domain bit for
+  // bit (a mismatch means a different projection implementation and would
+  // silently shift every reported point).
+  double domain_min_x = 0.0, domain_min_y = 0.0;
+  double domain_max_x = 0.0, domain_max_y = 0.0;
+  uint32_t granularity = 0;
+  uint32_t prior_granularity = 0;
+  uint32_t metric = 0;  // geo::UtilityMetric enumerator value
+  uint32_t height = 0;
+  uint64_t node_count = 0;       // solved mechanisms in kNodes
+  uint64_t plan_node_count = 0;  // plan nodes in kPlan (0 = no plan)
+};
+inline constexpr size_t kConfigImageBytes = 112;
+
+// Directory entry inside the kNodes section.
+struct NodeDirEntry {
+  int64_t node = 0;     // spatial::NodeIndex
+  uint32_t level = 0;   // depth + 1 (budget index of the node's children)
+  uint32_t n = 0;       // candidate count (children of the node)
+  uint64_t offset = 0;  // blob start, relative to the section start
+  uint64_t size = 0;    // blob bytes
+};
+inline constexpr size_t kNodeDirEntryBytes = 32;
+inline constexpr size_t kNodeBlobHeaderBytes = 32;
+
+// Blob bytes for a solved node with n candidates.
+inline constexpr uint64_t NodeBlobBytes(uint64_t n) {
+  return kNodeBlobHeaderBytes + 8 * (2 * n + n) + 4 * 8 * n * n;
+}
+
+// FNV-1a, the same function the v1 client bundle and the TOC use.
+inline uint64_t Fnv1a(const void* data, size_t size,
+                      uint64_t seed = 14695981039346656037ull) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+inline constexpr size_t AlignUp(size_t v, size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+}  // namespace geopriv::bundle
+
+#endif  // GEOPRIV_BUNDLE_FORMAT_H_

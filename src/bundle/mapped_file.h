@@ -1,0 +1,45 @@
+// Read-only mmap of a whole file, shared among every view that needs the
+// bytes to stay resident. The bundle loader hands the shared_ptr to each
+// rehydrated mechanism as its backing pin, so the mapping lives exactly
+// as long as anything still reads through it.
+
+#ifndef GEOPRIV_BUNDLE_MAPPED_FILE_H_
+#define GEOPRIV_BUNDLE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "base/status.h"
+
+namespace geopriv::bundle {
+
+class MappedFile {
+ public:
+  // Maps `path` read-only (PROT_READ, MAP_PRIVATE). Fails with kIoError
+  // on open/stat/mmap failure and kInvalidArgument on an empty file.
+  static StatusOr<std::shared_ptr<const MappedFile>> Open(
+      const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const unsigned char* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::span<const unsigned char> bytes() const { return {data_, size_}; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile(std::string path, const unsigned char* data, size_t size)
+      : path_(std::move(path)), data_(data), size_(size) {}
+
+  std::string path_;
+  const unsigned char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace geopriv::bundle
+
+#endif  // GEOPRIV_BUNDLE_MAPPED_FILE_H_

@@ -1,0 +1,126 @@
+// Serialization and zero-copy deserialization of v2 region bundles (see
+// format.h for the byte layout). BundleImageWriter assembles a complete
+// file image (header + TOC + aligned, checksummed sections) in memory;
+// RegionBundleView validates a mapped file and exposes typed spans into
+// it. Neither knows how to *build* a region (builder.h) or turn a view
+// into a serving mechanism (loader.h).
+
+#ifndef GEOPRIV_BUNDLE_REGION_BUNDLE_H_
+#define GEOPRIV_BUNDLE_REGION_BUNDLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "bundle/format.h"
+#include "bundle/mapped_file.h"
+
+namespace geopriv::bundle {
+
+// Accumulates sections and emits the final file image. Sections appear in
+// the TOC (and the file) in AddSection order.
+class BundleImageWriter {
+ public:
+  void AddSection(SectionId id, std::string bytes);
+  // Header + TOC + sections, checksums filled in. The writer is spent
+  // afterwards.
+  std::string Finish();
+
+ private:
+  struct Pending {
+    uint32_t id;
+    std::string bytes;
+  };
+  std::vector<Pending> sections_;
+};
+
+// Validated, typed view over a mapped v2 bundle. Copyable; every copy
+// shares the mapping. All spans returned point into the mapping and stay
+// valid for as long as any copy of the view (or the backing() pointer
+// handed to a mechanism) is alive.
+class RegionBundleView {
+ public:
+  // Maps and validates `path`: magic (a v1 "GPB1" file is rejected with a
+  // status pointing at core::LoadClientBundle), endian sentinel, version,
+  // header checksum, file size, TOC bounds/alignment, per-section
+  // checksums (unless `verify_checksums` is false), config decode, and
+  // cross-section size consistency. Requires a little-endian LP64 host —
+  // the zero-copy node tables are reinterpreted in place.
+  static StatusOr<RegionBundleView> Open(const std::string& path,
+                                         bool verify_checksums = true);
+
+  const ConfigImage& config() const { return config_; }
+  const std::string& path() const { return backing_->path(); }
+  uint64_t bytes_mapped() const { return backing_->size(); }
+  std::shared_ptr<const MappedFile> backing() const { return backing_; }
+  const std::vector<SectionEntry>& sections() const { return sections_; }
+
+  // Per-level budgets (height entries) and prior masses (g^2 entries).
+  std::span<const double> level_budgets() const { return budgets_; }
+  std::span<const double> prior_masses() const { return prior_; }
+
+  size_t node_count() const { return nodes_.size(); }
+  const NodeDirEntry& node_entry(size_t i) const { return nodes_[i]; }
+
+  // Typed spans into one node's solved tables.
+  struct NodeView {
+    int64_t node = 0;
+    int level = 0;
+    int n = 0;
+    double eps_level = 0.0;
+    double objective = 0.0;
+    std::span<const double> locations_xy;  // 2n, x/y interleaved
+    std::span<const double> prior;         // n
+    std::span<const double> k;             // n*n
+    std::span<const double> alias_prob;    // n*n
+    std::span<const size_t> alias_alias;   // n*n
+    std::span<const double> alias_normalized;  // n*n
+  };
+  StatusOr<NodeView> node(size_t i) const;
+
+  // Serving-plan layout; all spans empty when the bundle carries no plan.
+  struct PlanView {
+    std::span<const int64_t> node_id;     // per plan node
+    std::span<const int64_t> child_id;    // per child slot
+    std::span<const double> min_x, min_y, max_x, max_y;
+    std::span<const double> center_x, center_y;
+    std::span<const int32_t> child_begin, child_count;  // per plan node
+    std::span<const int32_t> child_plan;                // per child slot
+    std::span<const uint8_t> child_is_leaf;             // per child slot
+    bool empty() const { return node_id.empty(); }
+  };
+  const PlanView& plan() const { return plan_; }
+
+  // Re-walks the TOC and recomputes every section checksum against the
+  // mapped bytes (what Open(verify_checksums = true) already did); the
+  // CLI's `verify` and the smoke test call it on a fresh mapping.
+  Status VerifyChecksums() const;
+
+ private:
+  RegionBundleView() = default;
+
+  Status Parse(bool verify_checksums);
+  const SectionEntry* FindSection(uint32_t id) const;
+  Status ParseConfig();
+  Status ParseBudgets();
+  Status ParsePrior();
+  Status ParseNodes();
+  Status ParsePlan();
+
+  std::shared_ptr<const MappedFile> backing_;
+  std::vector<SectionEntry> sections_;
+  ConfigImage config_;
+  std::span<const double> budgets_;
+  std::span<const double> prior_;
+  std::vector<NodeDirEntry> nodes_;
+  const unsigned char* nodes_base_ = nullptr;  // kNodes section start
+  uint64_t nodes_size_ = 0;
+  PlanView plan_;
+};
+
+}  // namespace geopriv::bundle
+
+#endif  // GEOPRIV_BUNDLE_REGION_BUNDLE_H_

@@ -2,9 +2,10 @@
 
 #include <cmath>
 #include <cstring>
-#include <fstream>
 #include <memory>
 
+#include "base/atomic_file.h"
+#include "base/endian.h"
 #include "prior/prior.h"
 #include "spatial/hierarchical_grid.h"
 
@@ -13,6 +14,7 @@ namespace geopriv::core {
 namespace {
 
 constexpr char kMagic[4] = {'G', 'P', 'B', '1'};
+constexpr char kMagicV2[4] = {'G', 'P', 'B', '2'};
 constexpr uint32_t kVersion = 1;
 
 // FNV-1a over the serialized payload.
@@ -31,43 +33,68 @@ class Checksum {
   uint64_t hash_ = 14695981039346656037ull;
 };
 
+// Serializes into a growable buffer through the explicit little-endian
+// helpers; the buffer is handed to WriteFileAtomic in one shot.
 class Writer {
  public:
-  explicit Writer(std::ofstream& out) : out_(out) {}
-
   void Bytes(const void* data, size_t size) {
-    out_.write(static_cast<const char*>(data),
-               static_cast<std::streamsize>(size));
-    checksum_.Update(data, size);
+    buffer_.append(static_cast<const char*>(data), size);
   }
-  void U32(uint32_t v) { Bytes(&v, sizeof(v)); }
-  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
-  void F64(double v) { Bytes(&v, sizeof(v)); }
+  void U32(uint32_t v) { base::AppendLE32(buffer_, v); }
+  void U64(uint64_t v) { base::AppendLE64(buffer_, v); }
+  void F64(double v) { base::AppendLEF64(buffer_, v); }
 
-  uint64_t checksum() const { return checksum_.value(); }
+  // FNV-1a over everything appended so far.
+  uint64_t checksum() const {
+    Checksum sum;
+    sum.Update(buffer_.data(), buffer_.size());
+    return sum.value();
+  }
+
+  const std::string& buffer() const { return buffer_; }
 
  private:
-  std::ofstream& out_;
-  Checksum checksum_;
+  std::string buffer_;
 };
 
+// Cursor over an in-memory file image, decoding little-endian fields and
+// folding every consumed byte into the running checksum.
 class Reader {
  public:
-  explicit Reader(std::ifstream& in) : in_(in) {}
+  explicit Reader(const std::string& contents) : contents_(contents) {}
 
   bool Bytes(void* data, size_t size) {
-    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
-    if (!in_) return false;
-    checksum_.Update(data, size);
+    if (contents_.size() - pos_ < size) return false;
+    std::memcpy(data, contents_.data() + pos_, size);
+    checksum_.Update(contents_.data() + pos_, size);
+    pos_ += size;
     return true;
   }
-  bool U32(uint32_t* v) { return Bytes(v, sizeof(*v)); }
-  bool F64(double* v) { return Bytes(v, sizeof(*v)); }
+  bool U32(uint32_t* v) {
+    unsigned char buf[4];
+    if (!Bytes(buf, sizeof(buf))) return false;
+    *v = base::LoadLE32(buf);
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    unsigned char buf[8];
+    if (!Bytes(buf, sizeof(buf))) return false;
+    *v = base::LoadLE64(buf);
+    return true;
+  }
+  bool F64(double* v) {
+    uint64_t bits = 0;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
 
   uint64_t checksum() const { return checksum_.value(); }
+  size_t remaining() const { return contents_.size() - pos_; }
 
  private:
-  std::ifstream& in_;
+  const std::string& contents_;
+  size_t pos_ = 0;
   Checksum checksum_;
 };
 
@@ -118,12 +145,9 @@ Status ClientBundle::Validate() const {
 Status SaveClientBundle(const ClientBundle& bundle,
                         const std::string& path) {
   GEOPRIV_RETURN_IF_ERROR(bundle.Validate());
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IoError("cannot open " + path + " for writing");
-  }
-  Writer writer(out);
+  Writer writer;
   writer.Bytes(kMagic, sizeof(kMagic));
+  writer.U32(base::kEndianSentinel);
   writer.U32(kVersion);
   writer.F64(bundle.domain.min_x);
   writer.F64(bundle.domain.min_y);
@@ -137,23 +161,42 @@ Status SaveClientBundle(const ClientBundle& bundle,
   writer.U32(static_cast<uint32_t>(bundle.prior_granularity));
   for (double m : bundle.prior_mass) writer.F64(m);
   const uint64_t checksum = writer.checksum();
-  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-  if (!out) {
-    return Status::IoError("write to " + path + " failed");
-  }
-  return Status::OK();
+  std::string payload = writer.buffer();
+  base::AppendLE64(payload, checksum);
+  // Crash-atomic replacement: a reader at `path` sees the old complete
+  // file or the new complete file, never a partial write.
+  return base::WriteFileAtomic(path, payload);
 }
 
 StatusOr<ClientBundle> LoadClientBundle(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::IoError("cannot open " + path);
-  }
-  Reader reader(in);
+  GEOPRIV_ASSIGN_OR_RETURN(const std::string contents,
+                           base::ReadFileToString(path));
+  Reader reader(contents);
   char magic[4];
-  if (!reader.Bytes(magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!reader.Bytes(magic, sizeof(magic))) {
     return Status::InvalidArgument("not a geopriv bundle: " + path);
+  }
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    return Status::InvalidArgument(
+        "'" + path +
+        "' is a v2 region bundle (GPB2); load it with "
+        "bundle::RegionBundleView, not LoadClientBundle");
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a geopriv bundle: " + path);
+  }
+  uint32_t sentinel = 0;
+  if (!reader.U32(&sentinel) || sentinel != base::kEndianSentinel) {
+    if (sentinel == base::kEndianSentinelSwapped) {
+      return Status::InvalidArgument(
+          "bundle '" + path +
+          "' is byte-swapped (written big-endian against the little-endian "
+          "contract); refusing to misparse it");
+    }
+    return Status::InvalidArgument(
+        "bundle '" + path +
+        "' has no byte-order sentinel (pre-sentinel layout or corrupt "
+        "header)");
   }
   uint32_t version = 0;
   if (!reader.U32(&version) || version != kVersion) {
@@ -188,8 +231,12 @@ StatusOr<ClientBundle> LoadClientBundle(const std::string& path) {
   }
   const uint64_t expected = reader.checksum();
   uint64_t stored = 0;
-  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
-  if (!in || stored != expected) {
+  unsigned char stored_buf[8];
+  if (!reader.Bytes(stored_buf, sizeof(stored_buf))) {
+    return Status::InvalidArgument("truncated bundle checksum");
+  }
+  stored = base::LoadLE64(stored_buf);
+  if (stored != expected) {
     return Status::InvalidArgument("bundle checksum mismatch");
   }
   GEOPRIV_RETURN_IF_ERROR(bundle.Validate());

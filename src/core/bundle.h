@@ -6,10 +6,22 @@
 // fetch once and load at startup (the paper estimates tens of megabytes;
 // a 256x256 prior bundle is ~0.5 MB).
 //
-// Format (little-endian, fixed-width):
-//   magic "GPB1" | version u32 | domain (4 x f64) | eps f64 | rho f64 |
+// Format (little-endian, fixed-width; every field goes through the
+// explicit LE encode/decode helpers in base/endian.h, so the contract
+// holds on any host):
+//   magic "GPB1" | endian sentinel u32 (0x01020304) | version u32 |
+//   domain (4 x f64) | eps f64 | rho f64 |
 //   granularity u32 | height u32 | per-level budgets (height x f64) |
 //   prior granularity u32 | prior masses (g^2 x f64) | FNV-1a checksum u64
+// A byte-swapped file (written by a hypothetical big-endian producer that
+// ignored the contract) fails at the sentinel with a clear status instead
+// of misparsing. Saves are crash-atomic: temp file + fsync + rename, so a
+// crash mid-write never leaves a corrupt file at the final path.
+//
+// Solved per-node mechanisms do NOT live here — that is the v2
+// RegionBundle (magic "GPB2", src/bundle/), which a server mmaps and
+// serves zero-copy. Each loader rejects the other's magic with a status
+// naming the right entry point.
 
 #ifndef GEOPRIV_CORE_BUNDLE_H_
 #define GEOPRIV_CORE_BUNDLE_H_
@@ -38,7 +50,8 @@ struct ClientBundle {
   Status Validate() const;
 };
 
-// Serializes the bundle (overwrites the file). The checksum covers every
+// Serializes the bundle, atomically replacing any file at `path` (temp
+// file in the same directory + fsync + rename). The checksum covers every
 // preceding byte, so LoadClientBundle detects truncation and corruption.
 Status SaveClientBundle(const ClientBundle& bundle, const std::string& path);
 

@@ -163,6 +163,21 @@ class LocationSanitizer {
     return msm_->PrewarmTopNodes(k, pool);
   }
 
+  // Assembles a sanitizer from pre-built parts — the bundle loader's
+  // entry point, which reconstructs projection/domain/mechanism from a
+  // serialized region instead of running the Builder pipeline. The parts
+  // must be mutually consistent (domain_km is the mechanism's index
+  // bounds; granularity its index fanout); callers other than the loader
+  // should use the Builder.
+  static LocationSanitizer FromParts(geo::EquirectangularProjection projection,
+                                     geo::BBox domain_km,
+                                     std::unique_ptr<MultiStepMechanism> msm,
+                                     uint64_t seed, int granularity,
+                                     double eps) {
+    return LocationSanitizer(projection, domain_km, std::move(msm), seed,
+                             granularity, eps);
+  }
+
   // The privacy budget split the cost model chose.
   const BudgetAllocation& budget() const { return msm_->budget(); }
 

@@ -348,6 +348,34 @@ size_t MultiStepMechanism::serving_plan_nodes() const {
   return plan == nullptr ? 0 : plan->mech.size();
 }
 
+MultiStepMechanism::PlanSnapshot MultiStepMechanism::SnapshotServingPlan()
+    const {
+  PlanSnapshot snapshot;
+  const std::shared_ptr<const ServingPlan> plan = CurrentPlan();
+  if (plan == nullptr || plan->empty()) return snapshot;
+  snapshot.child_begin = plan->child_begin;
+  snapshot.child_count = plan->child_count;
+  snapshot.min_x = plan->min_x;
+  snapshot.min_y = plan->min_y;
+  snapshot.max_x = plan->max_x;
+  snapshot.max_y = plan->max_y;
+  snapshot.center_x = plan->center_x;
+  snapshot.center_y = plan->center_y;
+  snapshot.child_plan = plan->child_plan;
+  snapshot.child_id = plan->child_id;
+  snapshot.child_is_leaf = plan->child_is_leaf;
+  // The plan stores no per-node spatial ids (the walk never needs them);
+  // they are recoverable because every non-root plan node is some slot's
+  // child: node_id[child_plan[s]] = child_id[s], and node 0 is the root.
+  snapshot.node_id.assign(plan->mech.size(),
+                          spatial::HierarchicalPartition::kRoot);
+  for (size_t s = 0; s < plan->child_plan.size(); ++s) {
+    const int32_t p = plan->child_plan[s];
+    if (p >= 0) snapshot.node_id[static_cast<size_t>(p)] = plan->child_id[s];
+  }
+  return snapshot;
+}
+
 StatusOr<geo::Point> MultiStepMechanism::WalkOne(const ServingPlan* plan,
                                                  geo::Point actual,
                                                  rng::Rng& rng,

@@ -148,9 +148,31 @@ class MultiStepMechanism final : public mechanisms::Mechanism {
   const BudgetAllocation& budget() const { return budget_; }
   int height() const { return budget_.height(); }
   const spatial::HierarchicalPartition& index() const { return *index_; }
+  double eps() const { return eps_; }
+  const prior::Prior& prior() const { return *prior_; }
+  const MsmOptions& options() const { return options_; }
 
   // Consistent snapshot of the atomic counters.
   MsmStats stats() const;
+
+  // Value copy of the current serving plan's SoA arrays plus each plan
+  // node's spatial id, for serialization (bundle writers store the layout
+  // so `inspect` can show the warm subtree without rebuilding it). The
+  // plan is refreshed first if the cache generation moved; all vectors are
+  // empty when plans are disabled or nothing is warm. Array semantics
+  // match ServingPlan (see below): plan node p's children occupy
+  // [child_begin[p], child_begin[p]+child_count[p]) of the child arrays.
+  struct PlanSnapshot {
+    std::vector<spatial::NodeIndex> node_id;  // per plan node
+    std::vector<int32_t> child_begin;
+    std::vector<int32_t> child_count;
+    std::vector<double> min_x, min_y, max_x, max_y;
+    std::vector<double> center_x, center_y;
+    std::vector<int32_t> child_plan;
+    std::vector<spatial::NodeIndex> child_id;
+    std::vector<uint8_t> child_is_leaf;
+  };
+  PlanSnapshot SnapshotServingPlan() const;
   // Node count of the current serving plan, rebuilding it first if the
   // cache generation moved (0 when plans are disabled or nothing is warm).
   size_t serving_plan_nodes() const;

@@ -111,6 +111,33 @@ StatusOr<NodeMechanismCache::MechanismPtr> NodeMechanismCache::GetOrCompute(
   return entry->mech;
 }
 
+Status NodeMechanismCache::Publish(spatial::NodeIndex node,
+                                   MechanismPtr mech) {
+  if (mech == nullptr) {
+    return Status::InvalidArgument("cannot publish a null mechanism");
+  }
+  const size_t bytes = mech->MemoryFootprintBytes();
+  Shard& shard = ShardFor(node);
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    if (shard.map.contains(node)) {
+      return Status::FailedPrecondition(
+          "node " + std::to_string(static_cast<long long>(node)) +
+          " is already cached; refusing to replace it");
+    }
+    auto entry = std::make_shared<Entry>();
+    entry->mech = std::move(mech);
+    entry->bytes = bytes;
+    entry->last_used.store(NextTick(), std::memory_order_relaxed);
+    entry->ready.store(true, std::memory_order_release);
+    shard.map.emplace(node, std::move(entry));
+    bytes_resident_.fetch_add(bytes, std::memory_order_relaxed);
+    BumpGeneration();
+  }
+  if (byte_budget_ > 0) EvictToBudget();
+  return Status::OK();
+}
+
 NodeMechanismCache::MechanismPtr NodeMechanismCache::TryGet(
     spatial::NodeIndex node) {
   Shard& shard = ShardFor(node);

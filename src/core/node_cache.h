@@ -72,6 +72,13 @@ class NodeMechanismCache {
                                       const Factory& factory,
                                       bool* cache_hit = nullptr);
 
+  // Inserts an already-built mechanism (e.g. rehydrated from a bundle)
+  // as a ready entry, charging its footprint against the byte budget.
+  // Fails with kAlreadyExists-style FailedPrecondition when the node is
+  // present (ready or in flight) — bundle loads happen before serving
+  // starts, so a collision means the caller loaded twice.
+  Status Publish(spatial::NodeIndex node, MechanismPtr mech);
+
   // Non-building probe: the pinned mechanism when `node` is resident and
   // successfully built, nullptr otherwise (absent, in flight, or failed).
   // Does not count as a lookup and does not touch LRU recency — serving-

@@ -76,7 +76,8 @@ StatusOr<OptimalMechanism> OptimalMechanism::Create(
   const int n = mech.num_locations();
   mech.row_samplers_.resize(n);
   if (n == 1) {
-    mech.k_ = {1.0};
+    mech.k_owned_ = {1.0};
+    mech.k_ = mech.k_owned_;
     mech.stats_.objective = 0.0;
     mech.BuildRowSamplers(options);
     return mech;
@@ -94,6 +95,64 @@ StatusOr<OptimalMechanism> OptimalMechanism::Create(
   GEOPRIV_RETURN_IF_ERROR(solve_status);
   mech.BuildRowSamplers(options);
   return mech;
+}
+
+StatusOr<OptimalMechanism> OptimalMechanism::FromSolved(
+    SolvedMechanismTables tables, std::shared_ptr<const void> backing) {
+  if (!(tables.eps > 0.0)) {
+    return Status::InvalidArgument("solved tables: eps must be positive");
+  }
+  if (tables.locations.empty()) {
+    return Status::InvalidArgument("solved tables: no candidate locations");
+  }
+  const size_t n = tables.locations.size();
+  const size_t nn = n * n;
+  if (tables.prior.size() != n) {
+    return Status::InvalidArgument("solved tables: prior size mismatch");
+  }
+  if (tables.k.size() != nn || tables.alias_prob.size() != nn ||
+      tables.alias_alias.size() != nn ||
+      tables.alias_normalized.size() != nn) {
+    return Status::InvalidArgument(
+        "solved tables: matrix/alias table sizes do not match n^2");
+  }
+  OptimalMechanism mech(tables.eps, std::move(tables.locations),
+                        std::move(tables.prior), tables.metric);
+  mech.k_ = tables.k;
+  mech.backing_ = std::move(backing);
+  mech.stats_.objective = tables.objective;
+  mech.row_samplers_.resize(n);
+  for (size_t x = 0; x < n; ++x) {
+    mech.row_samplers_[x] = rng::AliasSampler::FromTables(
+        tables.alias_prob.subspan(x * n, n),
+        tables.alias_alias.subspan(x * n, n),
+        tables.alias_normalized.subspan(x * n, n));
+  }
+  return mech;
+}
+
+void OptimalMechanism::CopyFrom(const OptimalMechanism& other) {
+  eps_ = other.eps_;
+  locations_ = other.locations_;
+  prior_ = other.prior_;
+  metric_ = other.metric_;
+  k_owned_ = other.k_owned_;
+  k_ = k_owned_.empty() ? other.k_ : std::span<const double>(k_owned_);
+  row_samplers_ = other.row_samplers_;
+  backing_ = other.backing_;
+  stats_ = other.stats_;
+}
+
+void OptimalMechanism::MoveFrom(OptimalMechanism&& other) noexcept {
+  eps_ = other.eps_;
+  locations_ = std::move(other.locations_);
+  prior_ = std::move(other.prior_);
+  metric_ = other.metric_;
+  k_owned_ = std::move(other.k_owned_);
+  k_ = k_owned_.empty() ? other.k_ : std::span<const double>(k_owned_);
+  row_samplers_ = std::move(other.row_samplers_);
+  backing_ = std::move(other.backing_);
+  stats_ = other.stats_;
 }
 
 void OptimalMechanism::BuildRowSamplers(
@@ -395,13 +454,12 @@ Status OptimalMechanism::SolveFullPrimal(
 Status OptimalMechanism::FinalizeMatrix(std::vector<double> raw,
                                         bool strict) {
   const int n = num_locations();
-  k_ = std::move(raw);
-  k_.resize(static_cast<size_t>(n) * n, 0.0);
+  raw.resize(static_cast<size_t>(n) * n, 0.0);
   int degraded = 0;
   for (int x = 0; x < n; ++x) {
     double sum = 0.0;
     for (int z = 0; z < n; ++z) {
-      double& v = k_[static_cast<size_t>(x) * n + z];
+      double& v = raw[static_cast<size_t>(x) * n + z];
       if (v < 0.0) v = 0.0;  // roundoff from the LP
       sum += v;
     }
@@ -411,13 +469,15 @@ Status OptimalMechanism::FinalizeMatrix(std::vector<double> raw,
       // certainty — it breaks geo-indistinguishability, so it is never
       // silent: strict mode fails the build below, non-strict counts it.
       ++degraded;
-      k_[static_cast<size_t>(x) * n + x] = 1.0;
+      raw[static_cast<size_t>(x) * n + x] = 1.0;
       continue;
     }
     for (int z = 0; z < n; ++z) {
-      k_[static_cast<size_t>(x) * n + z] /= sum;
+      raw[static_cast<size_t>(x) * n + z] /= sum;
     }
   }
+  k_owned_ = std::move(raw);
+  k_ = k_owned_;
   stats_.degraded_rows += degraded;
   if (degraded > 0 && strict) {
     return Status::Internal(
@@ -452,7 +512,7 @@ int OptimalMechanism::IndexOf(geo::Point p) const {
 }
 
 size_t OptimalMechanism::MemoryFootprintBytes() const {
-  size_t bytes = k_.capacity() * sizeof(double) +
+  size_t bytes = k_owned_.capacity() * sizeof(double) +
                  locations_.capacity() * sizeof(geo::Point) +
                  prior_.capacity() * sizeof(double) +
                  row_samplers_.capacity() * sizeof(row_samplers_[0]);

@@ -20,6 +20,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -105,6 +106,24 @@ struct OptSolveStats {
   int degraded_rows = 0;
 };
 
+// A solved mechanism's complete state as flat tables — what a bundle
+// stores per node and what FromSolved() rehydrates without touching the
+// LP. The spans may point into an mmapped file; `prior` must already be
+// normalized (FromSolved trusts it — the serializer wrote the normalized
+// vector, and section checksums cover corruption).
+struct SolvedMechanismTables {
+  double eps = 0.0;
+  geo::UtilityMetric metric = geo::UtilityMetric::kEuclidean;
+  double objective = 0.0;            // expected utility loss under prior
+  std::vector<geo::Point> locations; // n candidates
+  std::vector<double> prior;         // n masses, normalized
+  std::span<const double> k;         // n x n row-major transition matrix
+  // Per-row alias tables, n entries per row, rows concatenated.
+  std::span<const double> alias_prob;
+  std::span<const size_t> alias_alias;
+  std::span<const double> alias_normalized;
+};
+
 class OptimalMechanism final : public Mechanism {
  public:
   // `locations`: the n candidate locations (actual and reported sets
@@ -115,6 +134,15 @@ class OptimalMechanism final : public Mechanism {
       double eps, std::vector<geo::Point> locations,
       std::vector<double> prior, geo::UtilityMetric metric,
       const OptimalMechanismOptions& options = {});
+
+  // Rehydrates a previously solved mechanism from its serialized tables —
+  // zero LP work, and ReportIndex draws the exact sequence the original
+  // mechanism would (same tables, same sampling path). `backing` pins the
+  // memory the spans reference (e.g. the mmapped bundle) for the
+  // mechanism's lifetime; pass nullptr when the spans outlive it by other
+  // means.
+  static StatusOr<OptimalMechanism> FromSolved(
+      SolvedMechanismTables tables, std::shared_ptr<const void> backing);
 
   geo::Point Report(geo::Point actual, rng::Rng& rng) override;
   std::string name() const override { return "OPT"; }
@@ -130,10 +158,19 @@ class OptimalMechanism final : public Mechanism {
   int num_locations() const { return static_cast<int>(locations_.size()); }
   const geo::Point& location(int i) const { return locations_[i]; }
   double prior(int i) const { return prior_[i]; }
+  double eps() const { return eps_; }
+  geo::UtilityMetric metric() const { return metric_; }
 
   // Transition probability K(x)(z).
   double K(int x, int z) const {
     return k_[static_cast<size_t>(x) * locations_.size() + z];
+  }
+
+  // Flat views for serialization (bundle writers store these verbatim so
+  // FromSolved reproduces this mechanism bit for bit).
+  std::span<const double> k_table() const { return k_; }
+  const rng::AliasSampler& row_sampler(int x) const {
+    return *row_samplers_[x];
   }
 
   // Expected utility loss sum Pi_x K(x)(z) d_Q(x,z) (the LP objective).
@@ -161,6 +198,23 @@ class OptimalMechanism final : public Mechanism {
   // budget.
   size_t MemoryFootprintBytes() const;
 
+  // K is either owned (Create solved it) or a view into external memory
+  // (FromSolved over a bundle mapping, pinned by backing_). Copies and
+  // moves must re-point the span when the matrix is owned, since the
+  // owned vector relocates; view spans transfer as-is.
+  OptimalMechanism(const OptimalMechanism& other) { CopyFrom(other); }
+  OptimalMechanism& operator=(const OptimalMechanism& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  OptimalMechanism(OptimalMechanism&& other) noexcept {
+    MoveFrom(std::move(other));
+  }
+  OptimalMechanism& operator=(OptimalMechanism&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
  private:
   OptimalMechanism(double eps, std::vector<geo::Point> locations,
                    std::vector<double> prior, geo::UtilityMetric metric)
@@ -176,12 +230,17 @@ class OptimalMechanism final : public Mechanism {
   Status FinalizeMatrix(std::vector<double> raw, bool strict);
   void BuildRowSamplers(const OptimalMechanismOptions& options);
 
-  double eps_;
+  void CopyFrom(const OptimalMechanism& other);
+  void MoveFrom(OptimalMechanism&& other) noexcept;
+
+  double eps_ = 0.0;
   std::vector<geo::Point> locations_;
   std::vector<double> prior_;
-  geo::UtilityMetric metric_;
-  std::vector<double> k_;  // n x n row-major
+  geo::UtilityMetric metric_ = geo::UtilityMetric::kEuclidean;
+  std::vector<double> k_owned_;   // n x n row-major when owned
+  std::span<const double> k_;     // always the matrix to read through
   std::vector<std::optional<rng::AliasSampler>> row_samplers_;
+  std::shared_ptr<const void> backing_;  // pins view-mode memory
   OptSolveStats stats_;
 };
 

@@ -56,9 +56,10 @@ StatusOr<AliasSampler> AliasSampler::Create(
                       std::move(normalized));
 }
 
-size_t AliasSampler::Sample(Rng& rng) const {
-  const size_t i = static_cast<size_t>(rng.UniformInt(prob_.size()));
-  return rng.Uniform() < prob_[i] ? i : alias_[i];
+AliasSampler AliasSampler::FromTables(std::span<const double> prob,
+                                      std::span<const size_t> alias,
+                                      std::span<const double> normalized) {
+  return AliasSampler(prob, alias, normalized);
 }
 
 size_t SampleLinear(const std::vector<double>& weights, double weight_sum,

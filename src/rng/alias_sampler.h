@@ -3,11 +3,18 @@
 // are sampled millions of times across an evaluation run, so constant-time
 // draws matter (see bench/micro_mechanisms for the comparison against linear
 // scanning).
+//
+// A sampler is either *owned* (Create() built its three tables on the
+// heap) or a *view* (FromTables() wrapped tables that live elsewhere, e.g.
+// inside an mmapped region bundle — see src/bundle/). Both modes sample
+// through the same spans with the same draw sequence, so a view over
+// serialized tables is bit-identical to the sampler that produced them.
 
 #ifndef GEOPRIV_RNG_ALIAS_SAMPLER_H_
 #define GEOPRIV_RNG_ALIAS_SAMPLER_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "base/status.h"
@@ -21,32 +28,105 @@ class AliasSampler {
   // internally.
   static StatusOr<AliasSampler> Create(const std::vector<double>& weights);
 
+  // View over externally owned tables — the exact (prob, alias,
+  // normalized) triple a Create() call produced, typically deserialized
+  // from a bundle. The caller guarantees the memory outlives the sampler
+  // (the bundle loader pins the mapping for the mechanism's lifetime) and
+  // that the three spans share one length >= 1. The tables are trusted:
+  // integrity is the serializer's checksum's job.
+  static AliasSampler FromTables(std::span<const double> prob,
+                                 std::span<const size_t> alias,
+                                 std::span<const double> normalized);
+
+  // Owned-mode copies re-point their spans at the copied vectors; view-
+  // mode copies share the external tables.
+  AliasSampler(const AliasSampler& other) { CopyFrom(other); }
+  AliasSampler& operator=(const AliasSampler& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  AliasSampler(AliasSampler&& other) noexcept { MoveFrom(std::move(other)); }
+  AliasSampler& operator=(AliasSampler&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
   // Draws an index in [0, size()) with probability proportional to its
   // weight.
-  size_t Sample(Rng& rng) const;
+  size_t Sample(Rng& rng) const {
+    const size_t i = static_cast<size_t>(rng.UniformInt(prob_.size()));
+    return rng.Uniform() < prob_[i] ? i : alias_[i];
+  }
 
   size_t size() const { return prob_.size(); }
 
   // Normalized probability of index i (for testing/inspection).
   double probability(size_t i) const { return normalized_[i]; }
 
-  // Heap bytes held by the three tables (cache byte accounting).
+  // The three tables, for serialization (bundle writers store them
+  // verbatim so a loaded view reproduces this sampler's draws exactly).
+  std::span<const double> prob_table() const { return prob_; }
+  std::span<const size_t> alias_table() const { return alias_; }
+  std::span<const double> normalized_table() const { return normalized_; }
+
+  // True when the tables live outside the sampler (mmapped bundle).
+  bool is_view() const { return prob_owned_.empty() && !prob_.empty(); }
+
+  // Heap bytes held by the three tables (cache byte accounting). A view
+  // owns nothing — its bytes are the mapping's, charged by whoever holds
+  // the mapping.
   size_t MemoryFootprintBytes() const {
-    return prob_.capacity() * sizeof(double) +
-           alias_.capacity() * sizeof(size_t) +
-           normalized_.capacity() * sizeof(double);
+    return prob_owned_.capacity() * sizeof(double) +
+           alias_owned_.capacity() * sizeof(size_t) +
+           normalized_owned_.capacity() * sizeof(double);
   }
 
  private:
   AliasSampler(std::vector<double> prob, std::vector<size_t> alias,
                std::vector<double> normalized)
-      : prob_(std::move(prob)),
-        alias_(std::move(alias)),
-        normalized_(std::move(normalized)) {}
+      : prob_owned_(std::move(prob)),
+        alias_owned_(std::move(alias)),
+        normalized_owned_(std::move(normalized)),
+        prob_(prob_owned_),
+        alias_(alias_owned_),
+        normalized_(normalized_owned_) {}
 
-  std::vector<double> prob_;
-  std::vector<size_t> alias_;
-  std::vector<double> normalized_;
+  AliasSampler(std::span<const double> prob, std::span<const size_t> alias,
+               std::span<const double> normalized)
+      : prob_(prob), alias_(alias), normalized_(normalized) {}
+
+  // Owned vectors relocate on copy/move, so the spans must be re-pointed;
+  // view spans reference stable external memory and transfer as-is.
+  void CopyFrom(const AliasSampler& other) {
+    prob_owned_ = other.prob_owned_;
+    alias_owned_ = other.alias_owned_;
+    normalized_owned_ = other.normalized_owned_;
+    RebindSpans(other);
+  }
+  void MoveFrom(AliasSampler&& other) noexcept {
+    prob_owned_ = std::move(other.prob_owned_);
+    alias_owned_ = std::move(other.alias_owned_);
+    normalized_owned_ = std::move(other.normalized_owned_);
+    RebindSpans(other);
+  }
+  void RebindSpans(const AliasSampler& source) {
+    if (!prob_owned_.empty()) {
+      prob_ = prob_owned_;
+      alias_ = alias_owned_;
+      normalized_ = normalized_owned_;
+    } else {
+      prob_ = source.prob_;
+      alias_ = source.alias_;
+      normalized_ = source.normalized_;
+    }
+  }
+
+  std::vector<double> prob_owned_;
+  std::vector<size_t> alias_owned_;
+  std::vector<double> normalized_owned_;
+  std::span<const double> prob_;
+  std::span<const size_t> alias_;
+  std::span<const double> normalized_;
 };
 
 // Reference implementation: linear scan over the CDF. Used by tests and the

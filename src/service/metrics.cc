@@ -94,6 +94,13 @@ MetricsSnapshot Metrics::Snapshot() const {
         slot.fallbacks_mechanism.load(std::memory_order_relaxed);
     s.deadline_overruns +=
         slot.deadline_overruns.load(std::memory_order_relaxed);
+    s.bundle_loads += slot.bundle_loads.load(std::memory_order_relaxed);
+    s.bundle_load_seconds +=
+        slot.bundle_load_seconds.load(std::memory_order_relaxed);
+    s.bundle_bytes_mapped +=
+        slot.bundle_bytes_mapped.load(std::memory_order_relaxed);
+    s.plan_warm_at_startup +=
+        slot.plan_warm_at_startup.load(std::memory_order_relaxed);
     s.latency_count += slot.latency.count();
     latency_sum_seconds += slot.latency.total_seconds();
     slot.latency.AccumulateBuckets(buckets);
@@ -158,7 +165,15 @@ std::string Metrics::ToJson() const {
                       s.latency_buckets[static_cast<size_t>(i)]));
     json += buf;
   }
-  json += "]}";
+  json += "]";
+  std::snprintf(buf, sizeof(buf),
+                ",\"bundle_loads\":%llu,\"bundle_load_seconds\":%.6f,"
+                "\"bundle_bytes_mapped\":%llu,\"plan_warm_at_startup\":%llu}",
+                static_cast<unsigned long long>(s.bundle_loads),
+                s.bundle_load_seconds,
+                static_cast<unsigned long long>(s.bundle_bytes_mapped),
+                static_cast<unsigned long long>(s.plan_warm_at_startup));
+  json += buf;
   return json;
 }
 
@@ -201,6 +216,18 @@ std::string Metrics::ToPrometheus(const std::string& prefix) const {
   std::snprintf(buf, sizeof(buf), "_count %llu\n",
                 static_cast<unsigned long long>(s.latency_count));
   out += hist + buf;
+
+  counter("bundle_loads_total", s.bundle_loads);
+  const auto gauge = [&](const char* name, const char* fmt, auto value) {
+    out += "# TYPE " + prefix + name + " gauge\n";
+    std::snprintf(buf, sizeof(buf), fmt, value);
+    out += prefix + name + buf;
+  };
+  gauge("bundle_load_seconds", " %.9f\n", s.bundle_load_seconds);
+  gauge("bundle_bytes_mapped", " %llu\n",
+        static_cast<unsigned long long>(s.bundle_bytes_mapped));
+  gauge("plan_warm_at_startup", " %llu\n",
+        static_cast<unsigned long long>(s.plan_warm_at_startup));
   return out;
 }
 

@@ -88,6 +88,14 @@ struct MetricsSnapshot {
   // latency_buckets[i] = samples <= LatencyHistogram::BucketBound(i). The
   // last bucket is open-ended, so latency_buckets.back() == latency_count.
   LatencyHistogram::BucketCounts latency_buckets{};
+  // Cold-start accounting for regions registered from mmapped v2 bundles
+  // (see src/bundle/): load count, cumulative map-to-serving seconds,
+  // total bytes mapped, and serving-plan nodes warm the moment each
+  // region went live.
+  uint64_t bundle_loads = 0;
+  double bundle_load_seconds = 0.0;
+  uint64_t bundle_bytes_mapped = 0;
+  uint64_t plan_warm_at_startup = 0;
 };
 
 // The stable key schema of Metrics::ToJson(), in emission order. This is
@@ -102,7 +110,9 @@ inline constexpr const char* kMetricsJsonKeys[] = {
     "latency_count",      "latency_p50_ms",
     "latency_p90_ms",     "latency_p99_ms",
     "latency_mean_ms",    "latency_sum_seconds",
-    "latency_bucket_le_s", "latency_buckets_cumulative"};
+    "latency_bucket_le_s", "latency_buckets_cumulative",
+    "bundle_loads",       "bundle_load_seconds",
+    "bundle_bytes_mapped", "plan_warm_at_startup"};
 
 class Metrics {
  public:
@@ -133,6 +143,20 @@ class Metrics {
   void RecordLatency(double seconds, int slot = 0) {
     At(slot).latency.Record(seconds);
   }
+  // One region registered from an mmapped bundle: `seconds` is the
+  // map-to-serving wall clock, `bytes_mapped` the mapping size,
+  // `plan_nodes` the serving-plan nodes warm at go-live. Registration
+  // happens on the control path, so slot 0 is the natural recorder.
+  void RecordBundleLoad(double seconds, uint64_t bytes_mapped,
+                        uint64_t plan_nodes, int slot = 0) {
+    Slot& s = At(slot);
+    Inc(s.bundle_loads);
+    s.bundle_load_seconds.fetch_add(seconds, std::memory_order_relaxed);
+    s.bundle_bytes_mapped.fetch_add(bytes_mapped,
+                                    std::memory_order_relaxed);
+    s.plan_warm_at_startup.fetch_add(plan_nodes,
+                                     std::memory_order_relaxed);
+  }
 
   MetricsSnapshot Snapshot() const;
 
@@ -161,6 +185,10 @@ class Metrics {
     std::atomic<uint64_t> fallbacks_deadline{0};
     std::atomic<uint64_t> fallbacks_mechanism{0};
     std::atomic<uint64_t> deadline_overruns{0};
+    std::atomic<uint64_t> bundle_loads{0};
+    std::atomic<double> bundle_load_seconds{0.0};
+    std::atomic<uint64_t> bundle_bytes_mapped{0};
+    std::atomic<uint64_t> plan_warm_at_startup{0};
     LatencyHistogram latency;
   };
 

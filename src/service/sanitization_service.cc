@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "base/check.h"
+#include "bundle/loader.h"
+#include "bundle/region_bundle.h"
 #include "spatial/grid.h"
 
 namespace geopriv::service {
@@ -15,6 +17,22 @@ namespace {
 // Keeps the fallback grid's cell count bounded even for tall indexes
 // (4096^2 cells ~= 17M, still O(1) memory since UniformGrid is implicit).
 constexpr int kMaxFallbackCellsPerAxis = 4096;
+
+// The MSM's effective leaf resolution, capped so the fallback grid stays
+// bounded: granularity^height cells per axis, at most
+// kMaxFallbackCellsPerAxis. Both registration paths size their
+// planar-Laplace fallback with this, so both report at the same
+// resolution as the MSM path.
+int EffectiveLeafCellsPerAxis(const core::LocationSanitizer& sanitizer) {
+  int leaf = 1;
+  for (int i = 0; i < sanitizer.budget().height(); ++i) {
+    if (leaf > kMaxFallbackCellsPerAxis / sanitizer.granularity()) {
+      return kMaxFallbackCellsPerAxis;
+    }
+    leaf *= sanitizer.granularity();
+  }
+  return leaf;
+}
 
 // Brackets one request's trace: Begin()s it, reconstructs the queue-wait
 // span from the submission stopwatch (the span is [submission, pickup] on
@@ -108,6 +126,12 @@ StatusOr<std::unique_ptr<SanitizationService>> SanitizationService::Create(
   if (options.batch_chunk_size < 1) {
     return Status::InvalidArgument("batch_chunk_size must be >= 1");
   }
+  if (options.num_shards < 0) {
+    return Status::InvalidArgument("num_shards must be >= 0");
+  }
+  if (options.num_shards > 0 && options.shard_vnodes < 1) {
+    return Status::InvalidArgument("shard_vnodes must be >= 1");
+  }
   return std::unique_ptr<SanitizationService>(
       new SanitizationService(options));
 }
@@ -121,6 +145,10 @@ SanitizationService::SanitizationService(const ServiceOptions& options)
                   std::memory_order_release);
   if (options.trace.sample_one_in > 0) {
     recorder_ = std::make_unique<obs::TraceRecorder>(options.trace);
+  }
+  if (options.num_shards > 0) {
+    router_ =
+        std::make_unique<ShardRouter>(options.num_shards, options.shard_vnodes);
   }
   worker_rngs_.reserve(static_cast<size_t>(options.num_workers));
   for (int w = 0; w < options.num_workers; ++w) {
@@ -185,16 +213,8 @@ Status SanitizationService::RegisterRegion(const std::string& region_id,
   }
 
   // Fallback: planar Laplace with the region's whole budget, remapped to
-  // the MSM's effective leaf grid so both paths report at the same
-  // resolution.
-  int leaf = 1;
-  for (int i = 0; i < sanitizer->budget().height(); ++i) {
-    if (leaf > kMaxFallbackCellsPerAxis / sanitizer->granularity()) {
-      leaf = kMaxFallbackCellsPerAxis;
-      break;
-    }
-    leaf *= sanitizer->granularity();
-  }
+  // the MSM's effective leaf grid.
+  const int leaf = EffectiveLeafCellsPerAxis(sanitizer.value());
   auto fallback = mechanisms::PlanarLaplaceOnGrid::Create(
       config.eps, spatial::UniformGrid(sanitizer->domain_km(), leaf));
   if (!fallback.ok()) {
@@ -215,6 +235,79 @@ Status SanitizationService::RegisterRegion(const std::string& region_id,
 
   // Copy-publish a snapshot containing the new region and drop the
   // reservation. Readers flip to it on their next atomic load.
+  std::lock_guard<std::mutex> lock(registry_writer_mu_);
+  std::unordered_map<std::string, std::shared_ptr<Region>> regions =
+      snapshot_.load(std::memory_order_acquire)->regions;
+  regions.emplace(region_id, std::move(region));
+  PublishLocked(std::move(regions));
+  building_.erase(region_id);
+  return Status::OK();
+}
+
+Status SanitizationService::LoadRegionFromBundle(
+    const std::string& region_id, const std::string& path,
+    const BundleRegionOptions& options) {
+  if (region_id.empty()) {
+    return Status::InvalidArgument("region id must be non-empty");
+  }
+  // Same reservation protocol as RegisterRegion: a duplicate — including
+  // a concurrent one — fails before the map/verify work, and readers
+  // never observe a half-loaded region.
+  {
+    std::lock_guard<std::mutex> lock(registry_writer_mu_);
+    const std::shared_ptr<const RegistrySnapshot> snap =
+        snapshot_.load(std::memory_order_acquire);
+    if (snap->regions.count(region_id) > 0 ||
+        !building_.insert(region_id).second) {
+      return Status::FailedPrecondition("region '" + region_id +
+                                        "' is already registered");
+    }
+  }
+  const auto release = [&] {
+    std::lock_guard<std::mutex> lock(registry_writer_mu_);
+    building_.erase(region_id);
+  };
+
+  // The recorded load time covers the whole cold start: open + verify +
+  // rehydrate + plan rebuild. That is the number the build/serve split
+  // exists to shrink, so it must not flatter itself by excluding the
+  // checksum pass.
+  const Stopwatch watch;
+  auto view = bundle::RegionBundleView::Open(path, options.verify_checksums);
+  if (!view.ok()) {
+    release();
+    return view.status();
+  }
+  bundle::RegionLoadOptions load_options;
+  load_options.seed = options_.seed;
+  load_options.cache_byte_budget = options.cache_byte_budget;
+  load_options.lp_time_limit_seconds = options.lp_time_limit_seconds;
+  load_options.construction_pool = pool_.get();
+  auto loaded = bundle::LoadRegion(view.value(), load_options);
+  if (!loaded.ok()) {
+    release();
+    return loaded.status();
+  }
+
+  const int leaf = EffectiveLeafCellsPerAxis(loaded->sanitizer);
+  auto fallback = mechanisms::PlanarLaplaceOnGrid::Create(
+      loaded->sanitizer.epsilon(),
+      spatial::UniformGrid(loaded->sanitizer.domain_km(), leaf));
+  if (!fallback.ok()) {
+    release();
+    return fallback.status();
+  }
+
+  auto region = std::make_shared<Region>(std::move(loaded->sanitizer),
+                                         std::move(fallback).value(), leaf);
+  // Bundle-published nodes are this path's prewarm: solved at build time,
+  // warm before the first request.
+  region->prewarmed_nodes = static_cast<int>(loaded->nodes_loaded);
+  region->bundle_bytes_mapped = loaded->bytes_mapped;
+  region->plan_warm_at_startup = loaded->plan_nodes;
+  metrics_.RecordBundleLoad(watch.ElapsedSeconds(), loaded->bytes_mapped,
+                            loaded->plan_nodes);
+
   std::lock_guard<std::mutex> lock(registry_writer_mu_);
   std::unordered_map<std::string, std::shared_ptr<Region>> regions =
       snapshot_.load(std::memory_order_acquire)->regions;
@@ -331,6 +424,9 @@ void SanitizationService::Process(const SanitizeRequest& request,
   SanitizeResult result;
   result.worker_id = worker_id;
   RequestTracer tracer(recorder_.get(), watch);
+  if (router_ != nullptr) {
+    router_->RecordRequest(router_->ShardFor(request.region_id));
+  }
 
   const std::shared_ptr<Region> region = FindRegion(request.region_id);
   if (region == nullptr) {
@@ -426,6 +522,13 @@ std::vector<SanitizeResult> SanitizationService::SanitizeBatch(
     const bool submitted = pool_->Submit([this, state, watch, &region_id,
                                           &locations, &results, begin,
                                           end](int worker_id) {
+      if (router_ != nullptr) {
+        // One ShardFor per chunk (the chunk shares one region id), one
+        // count per item — the router sees the same request volume the
+        // item-per-task path would record.
+        const int shard = router_->ShardFor(region_id);
+        for (size_t i = begin; i < end; ++i) router_->RecordRequest(shard);
+      }
       const std::shared_ptr<Region> region = FindRegion(region_id);
       if (region == nullptr) {
         const int slot = WorkerSlot(worker_id);
@@ -518,6 +621,8 @@ StatusOr<SanitizationService::RegionInfo> SanitizationService::GetRegionInfo(
   info.cache_hit_rate = cache.hit_rate();
   info.singleflight_waits = cache.singleflight_waits();
   info.prewarmed_nodes = region->prewarmed_nodes;
+  info.bundle_bytes_mapped = region->bundle_bytes_mapped;
+  info.plan_warm_at_startup = region->plan_warm_at_startup;
   return info;
 }
 
@@ -572,7 +677,8 @@ std::string SanitizationService::MetricsJson() const {
         "\"cache_hit_rate\":%.6f,\"prewarmed_nodes\":%d,"
         "\"singleflight_waits\":%llu,"
         "\"plan_builds\":%lld,\"plan_levels\":%lld,"
-        "\"fallthrough_levels\":%lld}",
+        "\"fallthrough_levels\":%lld,"
+        "\"bundle_bytes_mapped\":%llu,\"plan_warm_at_startup\":%llu}",
         region->sanitizer.epsilon(), region->sanitizer.budget().height(),
         region->leaf_cells_per_axis,
         static_cast<long long>(stats.lp_solves), stats.lp_seconds,
@@ -588,13 +694,22 @@ std::string SanitizationService::MetricsJson() const {
         static_cast<unsigned long long>(cache.singleflight_waits()),
         static_cast<long long>(stats.plan_builds),
         static_cast<long long>(stats.plan_levels),
-        static_cast<long long>(stats.fallthrough_levels));
+        static_cast<long long>(stats.fallthrough_levels),
+        static_cast<unsigned long long>(region->bundle_bytes_mapped),
+        static_cast<unsigned long long>(region->plan_warm_at_startup));
     if (!first) json += ",";
     first = false;
     json += "\"" + JsonEscape(id) + "\":";
     json += buf;
   }
-  json += "}}";
+  json += "}";
+  // The shards object is always present (stable schema); with routing off
+  // it is the empty table.
+  json += ",\"shards\":";
+  json += router_ != nullptr
+              ? router_->RoutingTableJson()
+              : "{\"num_shards\":0,\"vnodes_per_shard\":0,\"requests\":[]}";
+  json += "}";
   return json;
 }
 
@@ -654,6 +769,21 @@ std::string SanitizationService::MetricsText() const {
     trace_counter("spans_dropped_total", ts.spans_dropped);
   }
 
+  if (router_ != nullptr) {
+    std::snprintf(buf, sizeof(buf),
+                  "# TYPE geopriv_shard_count gauge\n"
+                  "geopriv_shard_count %d\n"
+                  "# TYPE geopriv_shard_requests counter\n",
+                  router_->num_shards());
+    out += buf;
+    for (int s = 0; s < router_->num_shards(); ++s) {
+      std::snprintf(buf, sizeof(buf),
+                    "geopriv_shard_requests{shard=\"%d\"} %llu\n", s,
+                    static_cast<unsigned long long>(router_->requests(s)));
+      out += buf;
+    }
+  }
+
   // Per-region gauges. One `# TYPE` header per family, then one sample
   // per region, labelled with the (escaped) region id.
   std::vector<std::pair<std::string, std::shared_ptr<Region>>> regions(
@@ -674,6 +804,8 @@ std::string SanitizationService::MetricsText() const {
       {"region_cache_evictions", "counter"},
       {"region_singleflight_waits", "counter"},
       {"region_plan_builds", "counter"},
+      {"region_bundle_bytes_mapped", "gauge"},
+      {"region_plan_warm_at_startup", "gauge"},
   };
   for (const Family& family : kFamilies) {
     if (regions.empty()) break;
@@ -703,6 +835,10 @@ std::string SanitizationService::MetricsText() const {
         value = static_cast<double>(cache.singleflight_waits());
       } else if (name == "region_plan_builds") {
         value = static_cast<double>(stats.plan_builds);
+      } else if (name == "region_bundle_bytes_mapped") {
+        value = static_cast<double>(region->bundle_bytes_mapped);
+      } else if (name == "region_plan_warm_at_startup") {
+        value = static_cast<double>(region->plan_warm_at_startup);
       }
       // The id is arbitrary caller data: concatenate (no fixed buffer) so
       // a long region id cannot truncate the sample line.

@@ -49,6 +49,7 @@
 #include "mechanisms/planar_laplace.h"
 #include "obs/trace.h"
 #include "service/metrics.h"
+#include "service/shard_router.h"
 
 namespace geopriv::service {
 
@@ -94,6 +95,35 @@ struct ServiceOptions {
   // default) disables tracing entirely: no recorder is built and every
   // instrumentation site costs one thread-local load and a branch.
   obs::TraceOptions trace;
+  // Virtual serving shards (see service/shard_router.h). 0 (the default)
+  // disables routing entirely; > 0 builds a deterministic consistent-hash
+  // ring, tags every request with its region's shard, and exposes the
+  // routing table plus per-shard request counts in MetricsJson() /
+  // MetricsText(). This process still serves every registered region —
+  // the shard is an observability/placement signal, not an admission
+  // filter — so a fleet can run the same ring in N processes and have
+  // each one register only the regions ShardFor() assigns it.
+  int num_shards = 0;
+  int shard_vnodes = 64;
+};
+
+// Knobs of LoadRegionFromBundle — the serve-tier half of the build/serve
+// split. Everything geometric (region box, eps, granularity, rho, prior,
+// metric, per-level budgets, solved mechanisms) comes from the bundle
+// itself; only serving-local policy lives here.
+struct BundleRegionOptions {
+  // Byte budget for the region's node cache. Mechanisms published from
+  // the mapping count their owned bytes only (the matrices stay in the
+  // file-backed mapping), so a budget here mainly bounds cold-node
+  // rebuilds. 0 = unbounded.
+  size_t cache_byte_budget = 0;
+  // Wall-clock cap per cold-node LP solve (bundle misses only; bundled
+  // nodes never solve). 0 = unlimited.
+  double lp_time_limit_seconds = 0.0;
+  // Verify every section's FNV-1a checksum against the TOC before
+  // serving. Costs one pass over the file; turn off only for bundles on
+  // trusted, already-verified storage.
+  bool verify_checksums = true;
 };
 
 struct SanitizeRequest {
@@ -123,7 +153,7 @@ struct SanitizeResult {
 // kMetricsJsonKeys (the schema of the nested "service" object), these may
 // be extended at the end only, never renamed or reordered.
 inline constexpr const char* kServiceMetricsJsonKeys[] = {
-    "service", "snapshot_epoch", "trace", "regions"};
+    "service", "snapshot_epoch", "trace", "regions", "shards"};
 inline constexpr const char* kTraceMetricsJsonKeys[] = {
     "enabled",           "sample_one_in",  "requests_started",
     "requests_retained", "requests_forced", "spans_committed",
@@ -139,7 +169,8 @@ inline constexpr const char* kRegionMetricsJsonKeys[] = {
     "cache_byte_budget",   "cache_evictions",
     "cache_hit_rate",      "prewarmed_nodes",
     "singleflight_waits",  "plan_builds",
-    "plan_levels",   "fallthrough_levels"};
+    "plan_levels",   "fallthrough_levels",
+    "bundle_bytes_mapped", "plan_warm_at_startup"};
 
 class SanitizationService {
  public:
@@ -162,6 +193,17 @@ class SanitizationService {
   // traffic unless `config.prewarm_nodes` asks for warmup here.
   Status RegisterRegion(const std::string& region_id,
                         const RegionConfig& config);
+
+  // Registers a region from a v2 bundle (see src/bundle/): mmaps `path`,
+  // publishes every stored mechanism into the node cache as zero-copy
+  // views over the mapping, and goes live with a warm serving plan and
+  // zero LP solves — the cold-start path of the build/serve split.
+  // Same reservation/duplicate semantics as RegisterRegion; also records
+  // Metrics::RecordBundleLoad. The mapping stays pinned while the region
+  // (or any in-flight request that resolved it) is alive.
+  Status LoadRegionFromBundle(const std::string& region_id,
+                              const std::string& path,
+                              const BundleRegionOptions& options = {});
 
   // Publishes a snapshot without the region. In-flight requests that
   // already resolved it keep their pinned Region and finish normally; new
@@ -215,6 +257,11 @@ class SanitizationService {
     uint64_t singleflight_waits = 0;
     // Nodes pre-solved at registration (0 when prewarm was off).
     int prewarmed_nodes = 0;
+    // Bundle-loaded regions only (0 for Builder-registered regions):
+    // bytes of the region's mmapped bundle and serving-plan nodes that
+    // were warm the instant the region went live.
+    uint64_t bundle_bytes_mapped = 0;
+    uint64_t plan_warm_at_startup = 0;
   };
   StatusOr<RegionInfo> GetRegionInfo(const std::string& region_id) const;
 
@@ -241,6 +288,9 @@ class SanitizationService {
   obs::TraceRecorder* trace_recorder() { return recorder_.get(); }
   const obs::TraceRecorder* trace_recorder() const { return recorder_.get(); }
 
+  // The consistent-hash router, nullptr when options.num_shards == 0.
+  const ShardRouter* shard_router() const { return router_.get(); }
+
   // The deterministic seed of worker `worker_id`'s RNG stream.
   static uint64_t WorkerSeed(uint64_t seed, int worker_id);
 
@@ -255,6 +305,9 @@ class SanitizationService {
     mechanisms::PlanarLaplaceOnGrid fallback;
     int leaf_cells_per_axis = 0;
     int prewarmed_nodes = 0;
+    // Set only by LoadRegionFromBundle; 0 for Builder-registered regions.
+    uint64_t bundle_bytes_mapped = 0;
+    uint64_t plan_warm_at_startup = 0;
 
     Region(core::LocationSanitizer s, mechanisms::PlanarLaplaceOnGrid f,
            int leaf)
@@ -302,6 +355,8 @@ class SanitizationService {
   // Built iff options_.trace.sample_one_in > 0; never reassigned after
   // construction, so workers read it without synchronization.
   std::unique_ptr<obs::TraceRecorder> recorder_;
+  // Built iff options_.num_shards > 0; same immutability contract.
+  std::unique_ptr<ShardRouter> router_;
 
   // Writers only: serializes register/unregister and guards building_.
   // The serving path never touches it.

@@ -1,4 +1,5 @@
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <vector>
 
@@ -112,6 +113,66 @@ TEST(BundleTest, LoadRejectsBitFlip) {
   std::ofstream(path, std::ios::binary | std::ios::trunc) << contents;
   auto loaded = LoadClientBundle(path);
   EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(BundleTest, SaveIsAtomicAndLeavesNoTempFile) {
+  auto bundle = BuildClientBundle(kDomain, SomeCheckins(), 0.5, 3, 0.7, 16);
+  ASSERT_TRUE(bundle.ok());
+  const std::string path = TempPath("bundle_atomic.gpb");
+  ASSERT_TRUE(SaveClientBundle(*bundle, path).ok());
+  // The crash-atomic writer stages into "<path>.tmp.<pid>.<n>" and
+  // renames; success must leave no staging file behind.
+  const std::filesystem::path dir =
+      std::filesystem::path(path).parent_path();
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().filename().string().find("bundle_atomic.gpb.tmp"),
+              std::string::npos)
+        << "staging file left behind: " << entry.path();
+  }
+  // Overwriting an existing bundle goes through the same rename and the
+  // replacement wins completely (no partial mix of old and new bytes).
+  auto second = BuildClientBundle(kDomain, SomeCheckins(), 0.9, 3, 0.6, 16);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(SaveClientBundle(*second, path).ok());
+  auto loaded = LoadClientBundle(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->eps, 0.9);
+  EXPECT_DOUBLE_EQ(loaded->rho, 0.6);
+  std::remove(path.c_str());
+}
+
+TEST(BundleTest, LoadRejectsByteSwappedSentinel) {
+  // A well-formed magic followed by the endian sentinel in big-endian
+  // byte order — what a big-endian writer ignoring the LE contract would
+  // produce. The loader must refuse rather than misparse every field.
+  const std::string path = TempPath("bundle_swapped.gpb");
+  std::string bytes = "GPB1";
+  bytes += '\x01';
+  bytes += '\x02';
+  bytes += '\x03';
+  bytes += '\x04';
+  bytes.append(64, '\0');
+  std::ofstream(path, std::ios::binary) << bytes;
+  auto loaded = LoadClientBundle(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("byte-swapped"),
+            std::string::npos)
+      << loaded.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(BundleTest, LoadRejectsV2MagicWithPointerToTheRightLoader) {
+  const std::string path = TempPath("bundle_v2magic.gpb");
+  std::string bytes = "GPB2";
+  bytes.append(64, '\0');
+  std::ofstream(path, std::ios::binary) << bytes;
+  auto loaded = LoadClientBundle(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("RegionBundleView"),
+            std::string::npos)
+      << loaded.status().message();
   std::remove(path.c_str());
 }
 

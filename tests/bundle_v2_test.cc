@@ -1,0 +1,328 @@
+// Tests for the v2 region-bundle subsystem (src/bundle/): build ->
+// mmap -> serve round trip, bit-identity of bundle-loaded regions
+// against scratch-built ones, zero LP solves at load, robustness against
+// truncation at every section boundary and bit flips in every section,
+// version-skew rejection in both directions, and the service-level
+// LoadRegionFromBundle path.
+
+#include <algorithm>
+#include <climits>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bundle/builder.h"
+#include "bundle/format.h"
+#include "bundle/loader.h"
+#include "bundle/region_bundle.h"
+#include "core/bundle.h"
+#include "core/location_sanitizer.h"
+#include "rng/rng.h"
+#include "service/sanitization_service.h"
+
+namespace geopriv::bundle {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// A small real region: ~1.1 km box, granularity 2 — a few dozen internal
+// nodes, so full prewarm stays fast while still exercising multi-level
+// walks.
+RegionSpec SmallSpec() {
+  RegionSpec spec;
+  spec.min_lat = 30.19;
+  spec.min_lon = -97.87;
+  spec.max_lat = 30.20;
+  spec.max_lon = -97.86;
+  spec.eps = 1.2;
+  spec.granularity = 2;
+  spec.rho = 0.8;
+  spec.prior_granularity = 16;
+  for (int i = 0; i < 200; ++i) {
+    spec.checkins.push_back(
+        {30.19 + 0.01 * (i % 10) / 10.0, -97.87 + 0.01 * (i % 7) / 7.0});
+  }
+  return spec;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+}
+
+// Builds the shared test bundle once; every test reuses the same file.
+const std::string& SharedBundlePath() {
+  static const std::string path = [] {
+    const std::string p = TempPath("region_v2_shared.gpb");
+    BuildBundleOptions options;
+    options.prewarm_nodes = 0;  // full prewarm: every internal node
+    auto result = BuildRegionBundle(SmallSpec(), options, p);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->nodes, 0u);
+    EXPECT_GT(result->plan_nodes, 0u);
+    return p;
+  }();
+  return path;
+}
+
+core::LocationSanitizer ScratchSanitizer(uint64_t seed) {
+  const RegionSpec spec = SmallSpec();
+  auto built = core::LocationSanitizer::Builder()
+                   .SetRegionLatLon(spec.min_lat, spec.min_lon, spec.max_lat,
+                                    spec.max_lon)
+                   .SetEpsilon(spec.eps)
+                   .SetGranularity(spec.granularity)
+                   .SetRho(spec.rho)
+                   .SetPriorGranularity(spec.prior_granularity)
+                   .SetUtilityMetric(spec.metric)
+                   .SetSeed(seed)
+                   .AddCheckinsLatLon(spec.checkins)
+                   .Build();
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+TEST(RegionBundleV2Test, OpenValidatesAndExposesTheConfig) {
+  auto view = RegionBundleView::Open(SharedBundlePath());
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  const RegionSpec spec = SmallSpec();
+  EXPECT_DOUBLE_EQ(view->config().eps, spec.eps);
+  EXPECT_DOUBLE_EQ(view->config().rho, spec.rho);
+  EXPECT_EQ(static_cast<int>(view->config().granularity), spec.granularity);
+  EXPECT_EQ(static_cast<int>(view->config().prior_granularity),
+            spec.prior_granularity);
+  EXPECT_EQ(view->level_budgets().size(),
+            static_cast<size_t>(view->config().height));
+  EXPECT_EQ(view->prior_masses().size(),
+            static_cast<size_t>(spec.prior_granularity) *
+                static_cast<size_t>(spec.prior_granularity));
+  EXPECT_GT(view->node_count(), 0u);
+  ASSERT_FALSE(view->plan().empty());
+  EXPECT_EQ(view->plan().node_id.size(), view->plan().child_begin.size());
+  EXPECT_EQ(view->plan().child_id.size(), view->plan().child_plan.size());
+  EXPECT_TRUE(view->VerifyChecksums().ok());
+
+  // Every stored node decodes, with self-consistent table sizes.
+  for (size_t i = 0; i < view->node_count(); ++i) {
+    auto node = view->node(i);
+    ASSERT_TRUE(node.ok()) << i << ": " << node.status().ToString();
+    const size_t n = static_cast<size_t>(node->n);
+    EXPECT_EQ(node->locations_xy.size(), 2 * n);
+    EXPECT_EQ(node->prior.size(), n);
+    EXPECT_EQ(node->k.size(), n * n);
+    EXPECT_EQ(node->alias_prob.size(), n * n);
+    EXPECT_EQ(node->alias_alias.size(), n * n);
+    EXPECT_EQ(node->alias_normalized.size(), n * n);
+    // Each K row is a conditional distribution.
+    for (size_t x = 0; x < n; ++x) {
+      double row = 0.0;
+      for (size_t z = 0; z < n; ++z) row += node->k[x * n + z];
+      EXPECT_NEAR(row, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(RegionBundleV2Test, LoadedRegionServesWithZeroLpSolves) {
+  auto view = RegionBundleView::Open(SharedBundlePath());
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  auto loaded = LoadRegion(view.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_GT(loaded->nodes_loaded, 0u);
+  EXPECT_GT(loaded->plan_nodes, 0u);
+  EXPECT_EQ(loaded->bytes_mapped, view->bytes_mapped());
+
+  // Zero solver work at load...
+  EXPECT_EQ(loaded->sanitizer.mechanism().stats().lp_solves, 0);
+  // ...and zero under traffic: a fully-prewarmed bundle covers every
+  // internal node, so no walk can miss.
+  rng::Rng rng(99);
+  for (int i = 0; i < 64; ++i) {
+    auto out = loaded->sanitizer.SanitizeLatLonOrStatus(
+        30.19 + 0.01 * (i % 8) / 8.0, -97.87 + 0.01 * (i % 5) / 5.0, rng);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+  }
+  EXPECT_EQ(loaded->sanitizer.mechanism().stats().lp_solves, 0);
+}
+
+TEST(RegionBundleV2Test, LoadedRegionIsBitIdenticalToScratchBuild) {
+  // The serve tier's correctness claim: under the same seed, a region
+  // rehydrated from the mmapped bundle must produce *bit-identical*
+  // reports to one built from scratch — the stored alias tables and K
+  // matrices are the same bytes the solver produced, so the RNG draw
+  // sequence and every selected cell must match exactly.
+  constexpr uint64_t kSeed = 0xB17B17ull;
+  auto view = RegionBundleView::Open(SharedBundlePath());
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  RegionLoadOptions options;
+  options.seed = kSeed;
+  auto loaded = LoadRegion(view.value(), options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  core::LocationSanitizer scratch = ScratchSanitizer(kSeed);
+  ASSERT_EQ(scratch.PrewarmTopNodes(INT_MAX).status().code(),
+            StatusCode::kOk);
+
+  rng::Rng r1(kSeed), r2(kSeed);
+  for (int i = 0; i < 200; ++i) {
+    const double lat = 30.19 + 0.01 * ((i * 37) % 100) / 100.0;
+    const double lon = -97.87 + 0.01 * ((i * 53) % 100) / 100.0;
+    auto from_bundle = loaded->sanitizer.SanitizeLatLonOrStatus(lat, lon, r1);
+    auto from_scratch = scratch.SanitizeLatLonOrStatus(lat, lon, r2);
+    ASSERT_TRUE(from_bundle.ok());
+    ASSERT_TRUE(from_scratch.ok());
+    // Bit identity, not near-equality.
+    EXPECT_EQ(from_bundle->lat, from_scratch->lat) << i;
+    EXPECT_EQ(from_bundle->lon, from_scratch->lon) << i;
+  }
+}
+
+TEST(RegionBundleV2Test, OpenRejectsTruncationAtEverySectionBoundary) {
+  const std::string bytes = ReadAll(SharedBundlePath());
+  auto view = RegionBundleView::Open(SharedBundlePath());
+  ASSERT_TRUE(view.ok());
+
+  std::vector<size_t> cuts = {0, 16, kHeaderBytes - 1, kHeaderBytes};
+  for (const SectionEntry& section : view->sections()) {
+    cuts.push_back(static_cast<size_t>(section.offset));
+    cuts.push_back(static_cast<size_t>(section.offset) +
+                   static_cast<size_t>(section.size) / 2);
+  }
+  cuts.push_back(bytes.size() - 1);
+  const std::string path = TempPath("region_v2_trunc.gpb");
+  for (const size_t cut : cuts) {
+    ASSERT_LT(cut, bytes.size());
+    WriteAll(path, bytes.substr(0, cut));
+    auto truncated = RegionBundleView::Open(path);
+    EXPECT_FALSE(truncated.ok()) << "cut at " << cut << " accepted";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RegionBundleV2Test, ChecksumsCatchABitFlipInEverySection) {
+  const std::string bytes = ReadAll(SharedBundlePath());
+  auto view = RegionBundleView::Open(SharedBundlePath());
+  ASSERT_TRUE(view.ok());
+
+  const std::string path = TempPath("region_v2_flip.gpb");
+  for (const SectionEntry& section : view->sections()) {
+    std::string corrupt = bytes;
+    const size_t at = static_cast<size_t>(section.offset) +
+                      static_cast<size_t>(section.size) / 2;
+    ASSERT_LT(at, corrupt.size());
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x10);
+    WriteAll(path, corrupt);
+    auto flipped = RegionBundleView::Open(path, /*verify_checksums=*/true);
+    EXPECT_FALSE(flipped.ok())
+        << "bit flip in section " << section.id << " accepted";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RegionBundleV2Test, RejectsVersionSkewInBothDirections) {
+  // Future version in a v2 envelope: rejected by name, both versions in
+  // the message.
+  std::string bytes = ReadAll(SharedBundlePath());
+  bytes[8] = 3;  // version field (u32 LE at offset 8)
+  const std::string path = TempPath("region_v2_skew.gpb");
+  WriteAll(path, bytes);
+  auto skewed = RegionBundleView::Open(path);
+  ASSERT_FALSE(skewed.ok());
+  EXPECT_NE(skewed.status().message().find("version 3"), std::string::npos)
+      << skewed.status().message();
+  EXPECT_NE(skewed.status().message().find("version 2"), std::string::npos)
+      << skewed.status().message();
+
+  // A v1 client bundle handed to the v2 loader: refused with a pointer at
+  // the right entry point instead of a generic parse error.
+  auto v1 = core::BuildClientBundle({0.0, 0.0, 10.0, 10.0},
+                                    {{5.0, 5.0}, {6.0, 4.0}, {2.0, 8.0}},
+                                    0.5, 3, 0.7, 8);
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  ASSERT_TRUE(core::SaveClientBundle(*v1, path).ok());
+  auto crossed = RegionBundleView::Open(path);
+  ASSERT_FALSE(crossed.ok());
+  EXPECT_NE(crossed.status().message().find("LoadClientBundle"),
+            std::string::npos)
+      << crossed.status().message();
+
+  // And the reverse direction is covered in bundle_test.cc
+  // (LoadRejectsV2MagicWithPointerToTheRightLoader).
+  std::remove(path.c_str());
+}
+
+TEST(RegionBundleV2Test, PartialPrewarmBundleStoresOnlyWarmNodes) {
+  const std::string path = TempPath("region_v2_partial.gpb");
+  BuildBundleOptions options;
+  options.prewarm_nodes = 1;  // root only
+  auto result = BuildRegionBundle(SmallSpec(), options, path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->nodes, 1u);
+
+  // The loader still serves: missing nodes rebuild lazily from the
+  // stored budgets, paying LP solves only on the cold paths.
+  auto view = RegionBundleView::Open(path);
+  ASSERT_TRUE(view.ok());
+  auto loaded = LoadRegion(view.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->sanitizer.mechanism().stats().lp_solves, 0);
+  rng::Rng rng(7);
+  auto out = loaded->sanitizer.SanitizeLatLonOrStatus(30.195, -97.865, rng);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(ServiceBundleTest, LoadRegionFromBundleServesAndReportsMetrics) {
+  service::ServiceOptions options;
+  options.num_workers = 2;
+  options.num_shards = 4;
+  auto service = service::SanitizationService::Create(options);
+  ASSERT_TRUE(service.ok());
+
+  ASSERT_TRUE(
+      (*service)->LoadRegionFromBundle("austin", SharedBundlePath()).ok());
+  // Duplicate registration fails fast, bundle or not.
+  EXPECT_EQ(
+      (*service)->LoadRegionFromBundle("austin", SharedBundlePath()).code(),
+      StatusCode::kFailedPrecondition);
+
+  std::vector<core::LatLon> batch;
+  for (int i = 0; i < 32; ++i) {
+    batch.push_back({30.19 + 0.01 * (i % 6) / 6.0, -97.865});
+  }
+  const auto results = (*service)->SanitizeBatch("austin", batch);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_FALSE(r.used_fallback);
+  }
+
+  auto info = (*service)->GetRegionInfo("austin");
+  ASSERT_TRUE(info.ok());
+  EXPECT_GT(info->bundle_bytes_mapped, 0u);
+  EXPECT_GT(info->plan_warm_at_startup, 0u);
+  EXPECT_GT(info->prewarmed_nodes, 0);
+  EXPECT_EQ(info->msm.lp_solves, 0);
+
+  const std::string json = (*service)->MetricsJson();
+  EXPECT_NE(json.find("\"bundle_loads\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shards\":{\"num_shards\":4"), std::string::npos)
+      << json;
+  const std::string text = (*service)->MetricsText();
+  EXPECT_NE(text.find("geopriv_bundle_loads_total 1"), std::string::npos);
+  EXPECT_NE(text.find("geopriv_region_bundle_bytes_mapped{region=\"austin\"}"),
+            std::string::npos);
+
+  EXPECT_FALSE(
+      (*service)->LoadRegionFromBundle("nowhere", "/nonexistent/r.gpb2").ok());
+}
+
+}  // namespace
+}  // namespace geopriv::bundle

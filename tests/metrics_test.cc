@@ -40,6 +40,35 @@ TEST(MetricsSchemaTest, ToJsonEmitsExactlyTheDocumentedKeysInOrder) {
   ExpectKeysInOrder(metrics.ToJson(), kMetricsJsonKeys);
 }
 
+TEST(MetricsSchemaTest, RecordBundleLoadFlowsIntoSnapshotJsonAndText) {
+  Metrics metrics(2);
+  metrics.RecordBundleLoad(/*seconds=*/0.25, /*bytes_mapped=*/1 << 20,
+                           /*plan_nodes=*/21);
+  metrics.RecordBundleLoad(/*seconds=*/0.50, /*bytes_mapped=*/2 << 20,
+                           /*plan_nodes=*/21, /*slot=*/1);
+
+  const MetricsSnapshot s = metrics.Snapshot();
+  EXPECT_EQ(s.bundle_loads, 2u);
+  EXPECT_DOUBLE_EQ(s.bundle_load_seconds, 0.75);
+  EXPECT_EQ(s.bundle_bytes_mapped, 3u << 20);
+  EXPECT_EQ(s.plan_warm_at_startup, 42u);
+
+  const std::string json = metrics.ToJson();
+  ExpectKeysInOrder(json, kMetricsJsonKeys);
+  EXPECT_NE(json.find("\"bundle_loads\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"plan_warm_at_startup\":42}"), std::string::npos)
+      << json;
+
+  const std::string text = metrics.ToPrometheus("geopriv_");
+  EXPECT_NE(text.find("# TYPE geopriv_bundle_loads_total counter\n"
+                      "geopriv_bundle_loads_total 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE geopriv_bundle_bytes_mapped gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("geopriv_plan_warm_at_startup 42\n"),
+            std::string::npos);
+}
+
 TEST(MetricsSchemaTest, ToJsonBucketArraysAreCumulativeAndConsistent) {
   Metrics metrics;
   metrics.RecordLatency(0.5e-6);  // first bucket
@@ -64,7 +93,9 @@ TEST(MetricsSchemaTest, ToJsonBucketArraysAreCumulativeAndConsistent) {
   const size_t counts_at = json.find("\"latency_buckets_cumulative\":[");
   ASSERT_NE(bounds_at, std::string::npos);
   ASSERT_NE(counts_at, std::string::npos);
-  EXPECT_NE(json.find(",4]}", counts_at), std::string::npos) << json;
+  // (The bundle keys extended the schema past the arrays, so the array
+  // is followed by more keys, not the closing brace.)
+  EXPECT_NE(json.find(",4],", counts_at), std::string::npos) << json;
 }
 
 TEST(MetricsSchemaTest, ServiceMetricsJsonFollowsTheDocumentedSchema) {

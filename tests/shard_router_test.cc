@@ -1,0 +1,96 @@
+// Tests for the consistent-hash ShardRouter: determinism across
+// instances, full shard coverage, bounded remapping under ring growth,
+// the request counters, and the routing-table JSON shape.
+
+#include "service/shard_router.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace geopriv::service {
+namespace {
+
+std::vector<std::string> RegionIds(int count) {
+  std::vector<std::string> ids;
+  ids.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ids.push_back("region-" + std::to_string(i * 7919));
+  }
+  return ids;
+}
+
+TEST(ShardRouterTest, PlacementIsDeterministicAcrossInstances) {
+  // Two routers with the same parameters — in this process or any other —
+  // must agree on every placement; that is the whole contract.
+  const ShardRouter a(8, 64);
+  const ShardRouter b(8, 64);
+  for (const std::string& id : RegionIds(500)) {
+    EXPECT_EQ(a.ShardFor(id), b.ShardFor(id)) << id;
+  }
+}
+
+TEST(ShardRouterTest, EveryShardIsInRangeAndReachable) {
+  const ShardRouter router(8, 64);
+  std::set<int> seen;
+  for (const std::string& id : RegionIds(2000)) {
+    const int shard = router.ShardFor(id);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 8);
+    seen.insert(shard);
+  }
+  // 2000 ids over 8 shards with 64 vnodes each: every shard owns some.
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(ShardRouterTest, GrowingTheRingMovesOnlyAFractionOfRegions) {
+  // Consistent hashing's point: going from N to N+1 shards should move
+  // roughly 1/(N+1) of the keys, not reshuffle everything. Allow a loose
+  // 3x margin over the ideal to keep the test robust to vnode variance.
+  const ShardRouter before(8, 64);
+  const ShardRouter after(9, 64);
+  const auto ids = RegionIds(4000);
+  int moved = 0;
+  for (const std::string& id : ids) {
+    if (before.ShardFor(id) != after.ShardFor(id)) ++moved;
+  }
+  EXPECT_GT(moved, 0);  // some movement is expected...
+  EXPECT_LT(moved, static_cast<int>(ids.size()) / 3)
+      << "ring growth reshuffled " << moved << "/" << ids.size();
+}
+
+TEST(ShardRouterTest, DegenerateParametersAreClamped) {
+  const ShardRouter router(0, 0);  // clamped to 1 shard, 1 vnode
+  EXPECT_EQ(router.num_shards(), 1);
+  EXPECT_EQ(router.ShardFor("anything"), 0);
+}
+
+TEST(ShardRouterTest, CountersTrackRecordedRequests) {
+  ShardRouter router(4, 16);
+  const int shard = router.ShardFor("hot-region");
+  for (int i = 0; i < 5; ++i) router.RecordRequest(shard);
+  EXPECT_EQ(router.requests(shard), 5u);
+  // Out-of-range records and reads are ignored, not UB.
+  router.RecordRequest(-1);
+  router.RecordRequest(99);
+  EXPECT_EQ(router.requests(-1), 0u);
+  EXPECT_EQ(router.requests(99), 0u);
+
+  const std::string json = router.RoutingTableJson();
+  EXPECT_NE(json.find("\"num_shards\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"vnodes_per_shard\":16"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"requests\":["), std::string::npos) << json;
+  // Exactly four comma-separated counts.
+  const size_t open = json.find('[');
+  const size_t close = json.find(']');
+  ASSERT_NE(open, std::string::npos);
+  ASSERT_NE(close, std::string::npos);
+  const std::string counts = json.substr(open + 1, close - open - 1);
+  EXPECT_EQ(std::count(counts.begin(), counts.end(), ','), 3);
+}
+
+}  // namespace
+}  // namespace geopriv::service
